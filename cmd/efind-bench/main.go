@@ -1,0 +1,66 @@
+// Command efind-bench regenerates the paper's evaluation (§5): every
+// panel of Figure 11, Figure 12, Figure 13, and the ablation studies
+// DESIGN.md calls out. Results are virtual times from the calibrated
+// cluster simulation; the reproduced claims are the relative shapes.
+//
+// Usage:
+//
+//	efind-bench              # run everything at full scale
+//	efind-bench -quick       # run everything at quick (test) scale
+//	efind-bench -fig 11a     # run one experiment
+//	efind-bench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"efind/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "use the quick (test) scale instead of full scale")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	scale := experiments.FullScale()
+	scaleName := "full"
+	if *quick {
+		scale = experiments.QuickScale()
+		scaleName = "quick"
+	}
+
+	run := experiments.All()
+	if *fig != "" {
+		e := experiments.Find(*fig)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: unknown experiment %q (try -list)\n", *fig)
+			os.Exit(1)
+		}
+		run = []experiments.Experiment{*e}
+	}
+
+	fmt.Printf("EFind evaluation harness — %d experiment(s) at %s scale\n\n", len(run), scaleName)
+	for _, e := range run {
+		start := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tbl.Print(os.Stdout)
+		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

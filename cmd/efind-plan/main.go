@@ -1,0 +1,109 @@
+// Command efind-plan explains EFind's cost-based optimizer: given the
+// Table 1 statistics of one index access operation, it prices all four
+// strategies (formulas (1)–(4) of the paper) and prints the chosen plan
+// with a cost breakdown — a what-if tool for understanding when caching,
+// re-partitioning, or index locality pays off.
+//
+// Example:
+//
+//	efind-plan -n1 100000 -nik 1 -sik 20 -siv 1024 -tj 0.8ms -theta 8 -r 0.9
+//	efind-plan -theta 1 -r 1 -siv 30720        # distinct keys, big results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"efind/internal/core"
+	"efind/internal/index"
+	"efind/internal/sim"
+)
+
+func main() {
+	var (
+		n1      = flag.Float64("n1", 50000, "records per parallel lookup lane (Table 1's N1)")
+		nik     = flag.Float64("nik", 1, "average lookup keys per record (Nik)")
+		sik     = flag.Float64("sik", 20, "average key size in bytes (Sik)")
+		siv     = flag.Float64("siv", 1024, "average result size per key in bytes (Siv)")
+		tj      = flag.Duration("tj", 800*time.Microsecond, "index serve time per lookup (Tj)")
+		theta   = flag.Float64("theta", 2, "average duplicates per distinct key (Θ)")
+		r       = flag.Float64("r", 0.8, "lookup cache miss ratio (R)")
+		spre    = flag.Float64("spre", 120, "carrier size after preProcess in bytes (Spre)")
+		spost   = flag.Float64("spost", 150, "output size after postProcess in bytes (Spost)")
+		pos     = flag.String("pos", "body", "operator position: head, body, or tail")
+		part    = flag.Bool("partitioned", true, "index exposes a partition scheme (enables index locality)")
+		bw      = flag.Float64("bw", 125e6, "network bandwidth, bytes/s (BW)")
+		fCost   = flag.Float64("f", 2.5e-8, "DFS store+retrieve cost, s/byte (f)")
+		startup = flag.Float64("startup", 0.005, "task startup, s (drives the extra-job overhead)")
+	)
+	flag.Parse()
+
+	env := core.Env{
+		BW:          *bw,
+		F:           *fCost,
+		Tcache:      1e-6,
+		Nodes:       96,
+		JobOverhead: 4 * *startup,
+		LaneFactor:  2,
+	}
+	is := core.IndexStats{
+		Nik: *nik, Sik: *sik, Siv: *siv,
+		Tj: tj.Seconds(), Theta: *theta, R: *r,
+	}
+	st := &core.OperatorStats{
+		N1: *n1, Records: int64(*n1 * 96),
+		S1: *spre, Spre: *spre, Sidx: *spre + *nik*(*sik+*siv), Spost: *spost, Smap: *spost,
+		Index: map[string]core.IndexStats{"ix": is},
+	}
+
+	position := core.BodyOp
+	switch *pos {
+	case "head":
+		position = core.HeadOp
+	case "tail":
+		position = core.TailOp
+	case "body":
+	default:
+		fmt.Fprintf(os.Stderr, "efind-plan: unknown position %q (head|body|tail)\n", *pos)
+		os.Exit(1)
+	}
+
+	op := core.NewOperator("what-if", nil, nil)
+	if *part {
+		op.AddIndex(partitionedIdx{})
+	} else {
+		op.AddIndex(plainIdx{})
+	}
+
+	fmt.Println("EFind cost model (per-lane virtual seconds, formulas (1)-(4) of the paper)")
+	fmt.Printf("  inputs: N1=%.0f Nik=%.2f Sik=%.0fB Siv=%.0fB Tj=%v Θ=%.2f R=%.2f Spre=%.0fB position=%s\n\n",
+		*n1, *nik, *sik, *siv, *tj, *theta, *r, *spre, position)
+
+	for _, line := range core.ExplainCosts(st, is, env, position) {
+		fmt.Println("  " + line)
+	}
+
+	plan := core.OptimizeOperator(op, position, st, env, core.DefaultPlannerOptions())
+	fmt.Printf("\nchosen plan: %s   (modeled cost %.4f s)\n", plan.String(), plan.Cost)
+}
+
+// plainIdx and partitionedIdx are stat-only stand-ins; the optimizer only
+// inspects their interfaces, never calls Lookup.
+type plainIdx struct{}
+
+func (plainIdx) Name() string                    { return "ix" }
+func (plainIdx) Lookup(string) ([]string, error) { return nil, nil }
+func (plainIdx) ServeTime() float64              { return 0 }
+func (plainIdx) HostsFor(string) []sim.NodeID    { return nil }
+
+type partitionedIdx struct{ plainIdx }
+
+func (partitionedIdx) Scheme() *index.Scheme {
+	hosts := make([][]sim.NodeID, 32)
+	for i := range hosts {
+		hosts[i] = []sim.NodeID{sim.NodeID(i % 12)}
+	}
+	return &index.Scheme{Partitions: 32, Fn: func(string) int { return 0 }, Hosts: hosts}
+}

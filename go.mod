@@ -1,0 +1,3 @@
+module efind
+
+go 1.22

@@ -1,0 +1,55 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%09d", rng.Intn(1e9))
+	}
+	return keys
+}
+
+func BenchmarkPut(b *testing.B) {
+	keys := benchKeys(b.N)
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], i)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	keys := benchKeys(100000)
+	tr := New()
+	for i, k := range keys {
+		tr.Put(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkAscendRange(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Put(fmt.Sprintf("key-%09d", i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		tr.AscendRange("key-000050000", "key-000050100", func(string, interface{}) bool {
+			count++
+			return true
+		})
+		if count != 100 {
+			b.Fatalf("range scan returned %d", count)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("empty tree len = %d", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree should miss")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree should report absent")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree should report absent")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(fmt.Sprintf("key-%04d", i), i)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(fmt.Sprintf("key-%04d", i))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(key-%04d) = %v,%v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get("missing"); ok {
+		t.Fatal("unexpected hit for missing key")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := New()
+	tr.Put("a", 1)
+	tr.Put("a", 2)
+	if tr.Len() != 1 {
+		t.Fatalf("replace grew tree: len=%d", tr.Len())
+	}
+	v, _ := tr.Get("a")
+	if v.(int) != 2 {
+		t.Fatalf("want replaced value 2, got %v", v)
+	}
+}
+
+func TestRandomOrderInsertSortedIteration(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	perm := rng.Perm(n)
+	for _, i := range perm {
+		tr.Put(fmt.Sprintf("k%06d", i), i)
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("got %d keys, want %d", len(keys), n)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("iteration not sorted")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), i)
+	}
+	var got []string
+	tr.AscendRange("010", "020", func(k string, _ interface{}) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Fatalf("range scan = %v", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), i)
+	}
+	count := 0
+	tr.Ascend(func(string, interface{}) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put(fmt.Sprintf("%04d", i), i)
+	}
+	for i := 0; i < 500; i += 2 {
+		if !tr.Delete(fmt.Sprintf("%04d", i)) {
+			t.Fatalf("delete %04d failed", i)
+		}
+	}
+	if tr.Delete("0000") {
+		t.Fatal("double delete should report false")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("len after deletes = %d, want 250", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := tr.Get(fmt.Sprintf("%04d", i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %04d present=%v, want %v", i, ok, want)
+		}
+	}
+	if !sort.StringsAreSorted(tr.Keys()) {
+		t.Fatal("keys unsorted after deletes")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"m", "a", "z", "q"} {
+		tr.Put(k, nil)
+	}
+	if min, _ := tr.Min(); min != "a" {
+		t.Fatalf("min = %q", min)
+	}
+	if max, _ := tr.Max(); max != "z" {
+		t.Fatalf("max = %q", max)
+	}
+}
+
+func TestMinAfterDeletingLeftmost(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put(fmt.Sprintf("%04d", i), i)
+	}
+	// Empty out the leftmost leaf entirely.
+	for i := 0; i < 40; i++ {
+		tr.Delete(fmt.Sprintf("%04d", i))
+	}
+	min, ok := tr.Min()
+	if !ok || min != "0040" {
+		t.Fatalf("min after deletes = %q,%v want 0040", min, ok)
+	}
+}
+
+// Property: the tree agrees with a reference map under a random workload
+// of puts and deletes, and iteration is always sorted and duplicate-free.
+func TestTreeMatchesReferenceMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New()
+		ref := map[string]int{}
+		for i, op := range ops {
+			key := fmt.Sprintf("%03d", op%200)
+			if op%3 == 0 {
+				tr.Delete(key)
+				delete(ref, key)
+			} else {
+				tr.Put(key, i)
+				ref[key] = i
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := tr.Keys()
+		if !sort.StringsAreSorted(keys) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			v, ok := tr.Get(k)
+			if !ok || v.(int) != ref[k] {
+				return false
+			}
+		}
+		return len(keys) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

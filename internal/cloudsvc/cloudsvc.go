@@ -1,0 +1,91 @@
+// Package cloudsvc simulates the paper's "data sources behind cloud
+// services": single-node services reached over the network, charged per
+// lookup, whose answers may be dynamically computed (the knowledge-base
+// service runs machine-learning classifiers — the number of valid keys is
+// infinite, so no traditional join can replace the access). Each service
+// is deterministic per key, satisfying EFind's idempotence assumption.
+package cloudsvc
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"efind/internal/index"
+	"efind/internal/sim"
+)
+
+// Service is a dynamic index served from one node with a fixed per-lookup
+// delay. Compute is the dynamic function (classifier, geo resolver, ...).
+type Service struct {
+	name    string
+	host    sim.NodeID
+	hostSet []sim.NodeID
+	delay   float64
+	compute func(key string) []string
+	calls   int64
+}
+
+var _ index.Accessor = (*Service)(nil)
+
+// New creates a service on the given host with the per-lookup delay T and
+// the dynamic computation fn.
+func New(name string, host sim.NodeID, delay float64, fn func(key string) []string) *Service {
+	return &Service{name: name, host: host, hostSet: []sim.NodeID{host}, delay: delay, compute: fn}
+}
+
+// Name implements index.Accessor.
+func (s *Service) Name() string { return s.name }
+
+// Lookup implements index.Accessor: it invokes the dynamic computation.
+func (s *Service) Lookup(key string) ([]string, error) {
+	s.calls++
+	return s.compute(key), nil
+}
+
+// ServeTime implements index.Accessor.
+func (s *Service) ServeTime() float64 { return s.delay }
+
+// SetServeTime adjusts the per-lookup delay (the LOG experiment sweeps an
+// extra 0–5 ms on top of the base 0.8 ms).
+func (s *Service) SetServeTime(d float64) { s.delay = d }
+
+// HostsFor implements index.Accessor: the single service host.
+func (s *Service) HostsFor(string) []sim.NodeID { return s.hostSet }
+
+// Calls returns the number of lookups served (the pay-per-use meter the
+// paper wants minimized).
+func (s *Service) Calls() int64 { return s.calls }
+
+// ResetStats clears the call counter.
+func (s *Service) ResetStats() { s.calls = 0 }
+
+// NewGeoService builds the LOG experiment's cloud service: IP address →
+// geographical region, deterministically derived from the IP so results
+// are stable and verifiable. regions controls the domain size.
+func NewGeoService(host sim.NodeID, delay float64, regions int) *Service {
+	if regions < 1 {
+		regions = 1
+	}
+	return New("geo-service", host, delay, func(ip string) []string {
+		return []string{fmt.Sprintf("region-%02d", hashOf(ip)%uint32(regions))}
+	})
+}
+
+// NewTopicService builds Example 2.1's knowledge-base service: keywords →
+// topic, "computed by machine-learning classifiers" — simulated by a
+// deterministic hash-based classifier over the keyword set, which
+// preserves the property that any input is a valid key.
+func NewTopicService(host sim.NodeID, delay float64, topics int) *Service {
+	if topics < 1 {
+		topics = 1
+	}
+	return New("topic-service", host, delay, func(keywords string) []string {
+		return []string{fmt.Sprintf("topic-%03d", hashOf(keywords)%uint32(topics))}
+	})
+}
+
+func hashOf(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}

@@ -1,0 +1,202 @@
+package core
+
+import "fmt"
+
+// Strategy is one of the paper's four index access strategies (§3).
+type Strategy int
+
+// Strategies.
+const (
+	// Baseline accesses the index once per lookup key via chained
+	// functions (§3.1, formula (1)).
+	Baseline Strategy = iota
+	// LookupCache adds a per-machine LRU cache in front of the index
+	// (§3.2, formula (2)).
+	LookupCache
+	// Repartition inserts a shuffling job that groups equal lookup keys
+	// before accessing the index (§3.3, formula (3)).
+	Repartition
+	// IndexLocality co-partitions lookup keys with the index partitions
+	// and schedules the lookup tasks on the partition hosts (§3.4,
+	// formula (4)).
+	IndexLocality
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case LookupCache:
+		return "cache"
+	case Repartition:
+		return "repart"
+	case IndexLocality:
+		return "idxloc"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Boundary picks where a re-partitioning plan materializes the first
+// job's output (the paper varies the job boundary to minimize the
+// materialized size, Cost_result = f·N1·S_min).
+type Boundary int
+
+// Boundaries.
+const (
+	// BoundaryPre materializes the pre-processed carriers right after the
+	// group-by; the lookup runs memoized in the next job's map tasks
+	// (the "first case" of Figure 7, also the only boundary compatible
+	// with index locality).
+	BoundaryPre Boundary = iota
+	// BoundaryIdx performs the lookup in the shuffle job's reduce and
+	// materializes carriers with results attached.
+	BoundaryIdx
+	// BoundaryLate runs the rest of the operator pipeline (remaining
+	// lookups, postProcess, and the original Map for head operators)
+	// inside the shuffle job's reduce and materializes its final output.
+	BoundaryLate
+)
+
+func (b Boundary) String() string {
+	switch b {
+	case BoundaryPre:
+		return "pre"
+	case BoundaryIdx:
+		return "idx"
+	case BoundaryLate:
+		return "late"
+	default:
+		return fmt.Sprintf("boundary(%d)", int(b))
+	}
+}
+
+// OpPosition locates an operator in the MapReduce data flow.
+type OpPosition int
+
+// Operator positions.
+const (
+	HeadOp OpPosition = iota // before Map
+	BodyOp                   // between Map and Reduce
+	TailOp                   // after Reduce
+)
+
+func (p OpPosition) String() string {
+	switch p {
+	case HeadOp:
+		return "head"
+	case BodyOp:
+		return "body"
+	default:
+		return "tail"
+	}
+}
+
+// lookupUnit is the cost of one remote index lookup: network transfer of
+// key and result plus the index serve time ((Sik+Siv)/BW + Tj).
+func lookupUnit(is IndexStats, env Env) float64 {
+	return (is.Sik+is.Siv)/env.BW + is.Tj
+}
+
+// costBaseline implements formula (1): Cost_base = N1·Nik·((Sik+Siv)/BW + Tj).
+func costBaseline(st *OperatorStats, is IndexStats, env Env) float64 {
+	return st.N1 * is.Nik * lookupUnit(is, env)
+}
+
+// costCache implements formula (2):
+// Cost_cache = N1·Nik·(Tcache + R·((Sik+Siv)/BW + Tj)).
+func costCache(st *OperatorStats, is IndexStats, env Env) float64 {
+	return st.N1 * is.Nik * (env.Tcache + is.R*lookupUnit(is, env))
+}
+
+// repartParts returns the three components of formula (3) for a given
+// effective carrier size and materialization size:
+// Cost_repart = Cost_shuffle + Cost_result + Cost_lookup.
+func repartParts(st *OperatorStats, is IndexStats, env Env, spreEff, smin float64) (shuffle, result, lookup float64) {
+	shuffle = st.N1 * spreEff / env.BW
+	result = env.F * st.N1 * smin
+	theta := is.Theta
+	if theta < 1 {
+		theta = 1
+	}
+	lookup = st.N1 * is.Nik / theta * lookupUnit(is, env)
+	return shuffle, result, lookup
+}
+
+// costRepart implements formula (3) plus the fixed overhead of the extra
+// shuffling job (for the BoundaryPre layout, whose lookups run map-side).
+func costRepart(st *OperatorStats, is IndexStats, env Env, spreEff, smin float64) float64 {
+	s, r, l := repartParts(st, is, env, spreEff, smin)
+	return s + r + l + env.JobOverhead
+}
+
+// costRepartAt prices a re-partitioning plan at a specific boundary:
+// BoundaryIdx/BoundaryLate run the deduplicated lookups inside the shuffle
+// job's reduce tasks, whose lane count is lower than the map side's, so
+// the lookup term scales by the environment's lane factor.
+func costRepartAt(b Boundary, st *OperatorStats, is IndexStats, env Env, spreEff, smin float64) float64 {
+	s, r, l := repartParts(st, is, env, spreEff, smin)
+	if b != BoundaryPre {
+		l *= env.laneFactor()
+	}
+	return s + r + l + env.JobOverhead
+}
+
+// bestRepartBoundary returns the boundary with the lowest total modeled
+// cost (materialized size and lookup-lane penalty traded off together)
+// and that cost.
+func bestRepartBoundary(pos OpPosition, st *OperatorStats, is IndexStats, env Env, spreEff, sidxEff float64) (Boundary, float64) {
+	sizes := boundarySizes(pos, st, spreEff, sidxEff)
+	best, bestCost := BoundaryPre, costRepartAt(BoundaryPre, st, is, env, spreEff, sizes[BoundaryPre])
+	for _, b := range []Boundary{BoundaryIdx, BoundaryLate} {
+		if c := costRepartAt(b, st, is, env, spreEff, sizes[b]); c < bestCost {
+			best, bestCost = b, c
+		}
+	}
+	return best, bestCost
+}
+
+// costIdxLoc implements formula (4): the shuffle and result costs of
+// re-partitioning (with the BoundaryPre materialization the strategy
+// requires) plus local lookups and the transfer of the main data to the
+// index partition hosts:
+// Cost_idxloc = Cost_shuffle + Cost_result + N1·Nik/Θ·Tj + N1·Spre/BW.
+func costIdxLoc(st *OperatorStats, is IndexStats, env Env, spreEff float64) float64 {
+	shuffle := st.N1 * spreEff / env.BW
+	result := env.F * st.N1 * spreEff
+	theta := is.Theta
+	if theta < 1 {
+		theta = 1
+	}
+	lookup := st.N1*is.Nik/theta*is.Tj + st.N1*spreEff/env.BW
+	return shuffle + result + lookup + env.JobOverhead
+}
+
+// boundarySizes returns the candidate materialization sizes for the last
+// re-partitioned index of an operator, keyed by boundary: the carrier
+// before the lookup (Spre-effective), after the lookup (Sidx-effective),
+// and after running the remaining pipeline (Smap for head operators,
+// Spost otherwise), mirroring the paper's S_min sets.
+func boundarySizes(pos OpPosition, st *OperatorStats, spreEff, sidxEff float64) map[Boundary]float64 {
+	late := st.Spost
+	if pos == HeadOp && st.Smap > 0 {
+		late = st.Smap
+	}
+	return map[Boundary]float64{
+		BoundaryPre:  spreEff,
+		BoundaryIdx:  sidxEff,
+		BoundaryLate: late,
+	}
+}
+
+// bestBoundary picks the boundary minimizing the materialized size,
+// breaking ties toward earlier boundaries (less work in the reduce).
+func bestBoundary(sizes map[Boundary]float64) (Boundary, float64) {
+	best, bestSize := BoundaryPre, sizes[BoundaryPre]
+	for _, b := range []Boundary{BoundaryIdx, BoundaryLate} {
+		if sizes[b] < bestSize {
+			best, bestSize = b, sizes[b]
+		}
+	}
+	return best, bestSize
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+
+	"efind/internal/dfs"
+	"efind/internal/index"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+)
+
+// DefaultCacheCapacity is the paper's lookup cache size (1024 index
+// key-value entries).
+const DefaultCacheCapacity = 1024
+
+// Mode selects how the runtime chooses index access strategies.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeBaseline runs every index with the baseline strategy.
+	ModeBaseline Mode = iota
+	// ModeCache runs every index with the lookup-cache strategy.
+	ModeCache
+	// ModeCustom uses per-index forced strategies (ForceStrategy), with
+	// the lookup cache as the default for unforced indices — the paper's
+	// hand-picked Repart/Idxloc experiment configurations.
+	ModeCustom
+	// ModeOptimized plans from catalog statistics (the paper's
+	// "optimized": static optimization with sufficient statistics).
+	ModeOptimized
+	// ModeDynamic starts with the baseline plan, collects statistics
+	// during the first wave, and re-optimizes the running job at most
+	// once (§4, Algorithm 1).
+	ModeDynamic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeCache:
+		return "cache"
+	case ModeCustom:
+		return "custom"
+	case ModeOptimized:
+		return "optimized"
+	case ModeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// IndexJobConf is the paper's extension of a MapReduce job configuration
+// with index operators: head operators run before Map, body operators
+// between Map and Reduce, tail operators after Reduce.
+type IndexJobConf struct {
+	// Name labels the job.
+	Name string
+	// Input is the main MapReduce input.
+	Input *dfs.File
+	// Mapper is the original Map function (nil = identity).
+	Mapper mapreduce.MapFunc
+	// Reducer is the original Reduce function (nil = map-only job; body
+	// and tail operators then cannot be used).
+	Reducer mapreduce.ReduceFunc
+	// Combiner optionally pre-aggregates the main job's map output per
+	// reducer bucket before the shuffle (Hadoop's combiner); it must be
+	// algebraically compatible with Reducer.
+	Combiner mapreduce.ReduceFunc
+	// NumReduce is the reducer count of the main job (0 = cluster reduce
+	// slots).
+	NumReduce int
+	// OutputName names the final output file ("" = generated).
+	OutputName string
+
+	// Mode picks the strategy selection policy.
+	Mode Mode
+	// CacheCapacity bounds the per-machine lookup cache (0 = the paper's
+	// 1024 entries).
+	CacheCapacity int
+	// VarianceThreshold gates re-optimization: the largest stddev/mean of
+	// collected statistics must be below it (0 = 0.05, §4.2).
+	VarianceThreshold float64
+	// PlanChangeCost is the modeled overhead of switching plans mid-job;
+	// a new plan must win by more than this (0 = a small default).
+	PlanChangeCost float64
+	// Planner tunes plan enumeration.
+	Planner PlannerOptions
+	// MaxPlanChanges bounds how many times a dynamic job may switch plans
+	// (0 = the paper's "at most once"; exposed for the ablation bench).
+	MaxPlanChanges int
+
+	head, body, tail []*Operator
+	forced           map[string]map[string]Strategy
+	forcedBoundary   map[string]map[string]Boundary
+}
+
+// AddHeadIndexOperator places an operator before Map.
+func (c *IndexJobConf) AddHeadIndexOperator(op *Operator) { c.head = append(c.head, op) }
+
+// AddBodyIndexOperator places an operator between Map and Reduce.
+func (c *IndexJobConf) AddBodyIndexOperator(op *Operator) { c.body = append(c.body, op) }
+
+// AddTailIndexOperator places an operator after Reduce.
+func (c *IndexJobConf) AddTailIndexOperator(op *Operator) { c.tail = append(c.tail, op) }
+
+// Operators returns all operators in data-flow order with positions.
+func (c *IndexJobConf) Operators() ([]*Operator, []OpPosition) {
+	var ops []*Operator
+	var pos []OpPosition
+	for _, o := range c.head {
+		ops, pos = append(ops, o), append(pos, HeadOp)
+	}
+	for _, o := range c.body {
+		ops, pos = append(ops, o), append(pos, BodyOp)
+	}
+	for _, o := range c.tail {
+		ops, pos = append(ops, o), append(pos, TailOp)
+	}
+	return ops, pos
+}
+
+// ForceStrategy pins a strategy for one index of one operator (ModeCustom).
+func (c *IndexJobConf) ForceStrategy(op, ix string, s Strategy) {
+	if c.forced == nil {
+		c.forced = make(map[string]map[string]Strategy)
+	}
+	if c.forced[op] == nil {
+		c.forced[op] = make(map[string]Strategy)
+	}
+	c.forced[op][ix] = s
+}
+
+// ForceBoundary pins the re-partitioning boundary for one index
+// (ModeCustom; default BoundaryPre).
+func (c *IndexJobConf) ForceBoundary(op, ix string, b Boundary) {
+	if c.forcedBoundary == nil {
+		c.forcedBoundary = make(map[string]map[string]Boundary)
+	}
+	if c.forcedBoundary[op] == nil {
+		c.forcedBoundary[op] = make(map[string]Boundary)
+	}
+	c.forcedBoundary[op][ix] = b
+}
+
+// validate checks the configuration and fills defaults.
+func (c *IndexJobConf) validate(rt *Runtime) error {
+	if c.Input == nil {
+		return fmt.Errorf("efind: job %q has no input", c.Name)
+	}
+	if c.Name == "" {
+		c.Name = "efind-job"
+	}
+	if c.Reducer == nil && (len(c.body) > 0 || len(c.tail) > 0) {
+		return fmt.Errorf("efind: job %q has body/tail operators but no Reducer", c.Name)
+	}
+	if c.Reducer != nil && c.NumReduce <= 0 {
+		c.NumReduce = rt.Engine.Cluster.ReduceSlots()
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = DefaultCacheCapacity
+	}
+	if c.VarianceThreshold <= 0 {
+		c.VarianceThreshold = 0.05
+	}
+	if c.PlanChangeCost <= 0 {
+		c.PlanChangeCost = 2 * rt.Engine.Cluster.Config().TaskStartup
+	}
+	ops, _ := c.Operators()
+	seen := map[string]bool{}
+	for _, o := range ops {
+		if err := o.validate(); err != nil {
+			return err
+		}
+		if seen[o.Name()] {
+			return fmt.Errorf("efind: job %q uses operator name %q twice", c.Name, o.Name())
+		}
+		seen[o.Name()] = true
+	}
+	return nil
+}
+
+// JobResult reports an EFind job's outcome.
+type JobResult struct {
+	// Output is the final output file.
+	Output *dfs.File
+	// VTime is the total virtual running time across all MapReduce jobs
+	// the plan compiled into.
+	VTime float64
+	// Plan is the plan that produced the final output (post-change for
+	// dynamic jobs).
+	Plan *JobPlan
+	// Replanned reports whether a dynamic job switched plans.
+	Replanned bool
+	// ReplanPhase is "map" or "reduce" when Replanned.
+	ReplanPhase string
+	// JobsRun counts the MapReduce jobs executed.
+	JobsRun int
+	// Counters aggregates all task counters.
+	Counters map[string]int64
+
+	raw []*mapreduce.Result
+}
+
+// Runtime executes EFind jobs: it owns the plan optimizer, the statistics
+// catalog, and the plan implementer (Figure 8).
+type Runtime struct {
+	Engine  *mapreduce.Engine
+	Catalog *Catalog
+	Env     Env
+}
+
+// NewRuntime builds a runtime on the engine with a fresh catalog.
+func NewRuntime(e *mapreduce.Engine) *Runtime {
+	return &Runtime{Engine: e, Catalog: NewCatalog(), Env: EnvFromCluster(e.Cluster)}
+}
+
+// Submit runs the job under its configured mode and returns the result.
+func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
+	if err := conf.validate(rt); err != nil {
+		return nil, err
+	}
+	if conf.Mode == ModeDynamic {
+		return rt.runDynamic(conf)
+	}
+	plan, err := rt.planFor(conf)
+	if err != nil {
+		return nil, err
+	}
+	return rt.runPlan(conf, plan)
+}
+
+// CollectStats runs the job once under the baseline plan purely to
+// populate the catalog (the "sufficient statistics" precondition of the
+// paper's optimized mode), discarding the output.
+func (rt *Runtime) CollectStats(conf *IndexJobConf) error {
+	if err := conf.validate(rt); err != nil {
+		return err
+	}
+	probe := *conf
+	probe.Mode = ModeBaseline
+	probe.OutputName = rt.Engine.FS.TempName(conf.Name + "-stats")
+	plan, err := rt.planFor(&probe)
+	if err != nil {
+		return err
+	}
+	res, err := rt.runPlan(&probe, plan)
+	if err != nil {
+		return err
+	}
+	rt.harvestStats(&probe, res)
+	return rt.Engine.FS.Remove(res.Output.Name)
+}
+
+// harvestStats folds a finished baseline run's task statistics into the
+// catalog: head/body operators from map tasks, tail operators from reduce
+// tasks.
+func (rt *Runtime) harvestStats(conf *IndexJobConf, res *JobResult) {
+	if len(res.raw) == 0 {
+		return
+	}
+	first := res.raw[0]
+	last := res.raw[len(res.raw)-1]
+	for _, o := range conf.head {
+		collectStats(rt.Catalog, o, first.MapStats, rt.Env)
+	}
+	for _, o := range conf.body {
+		collectStats(rt.Catalog, o, first.MapStats, rt.Env)
+	}
+	for _, o := range conf.tail {
+		collectStats(rt.Catalog, o, last.ReduceStats, rt.Env)
+	}
+}
+
+// planFor builds the job plan for the non-dynamic modes.
+func (rt *Runtime) planFor(conf *IndexJobConf) (*JobPlan, error) {
+	plan := &JobPlan{}
+	ops, positions := conf.Operators()
+	for i, o := range ops {
+		pos := positions[i]
+		var p OperatorPlan
+		switch conf.Mode {
+		case ModeBaseline:
+			p = baselinePlan(o, pos)
+		case ModeCache:
+			p = uniformPlan(o, pos, LookupCache)
+		case ModeCustom:
+			var err error
+			p, err = rt.customPlan(conf, o, pos)
+			if err != nil {
+				return nil, err
+			}
+		case ModeOptimized:
+			p = OptimizeOperator(o, pos, rt.Catalog.Get(o.Name()), rt.Env, conf.Planner)
+		default:
+			return nil, fmt.Errorf("efind: unsupported mode %v", conf.Mode)
+		}
+		switch pos {
+		case HeadOp:
+			plan.Head = append(plan.Head, p)
+		case BodyOp:
+			plan.Body = append(plan.Body, p)
+		default:
+			plan.Tail = append(plan.Tail, p)
+		}
+		plan.Cost += p.Cost
+	}
+	return plan, nil
+}
+
+// customPlan applies forced strategies: shuffle-strategy indices first
+// (Property 4), lookup cache by default for the rest.
+func (rt *Runtime) customPlan(conf *IndexJobConf, o *Operator, pos OpPosition) (OperatorPlan, error) {
+	p := OperatorPlan{Op: o, Pos: pos}
+	var shuffles, others []Decision
+	for i, a := range o.Indices() {
+		s, ok := conf.forced[o.Name()][a.Name()]
+		if !ok {
+			s = LookupCache
+		}
+		d := Decision{Index: i, Strategy: s, Boundary: BoundaryPre}
+		if b, ok := conf.forcedBoundary[o.Name()][a.Name()]; ok {
+			d.Boundary = b
+		}
+		switch s {
+		case Repartition, IndexLocality:
+			if s == IndexLocality {
+				if _, ok := a.(index.Partitioned); !ok {
+					return p, fmt.Errorf("efind: index %q of operator %q does not expose a partition scheme; index locality is not applicable", a.Name(), o.Name())
+				}
+				d.Boundary = BoundaryPre
+			}
+			shuffles = append(shuffles, d)
+		default:
+			others = append(others, d)
+		}
+	}
+	p.Decisions = append(shuffles, others...)
+	return p, nil
+}
+
+// cjob is one compiled MapReduce job of an EFind plan.
+type cjob struct {
+	name         string
+	mapStages    []mapreduce.StageFactory
+	partition    func(string, int) int
+	numReduce    int
+	shuffle      *shuffleSpec
+	userReduce   bool
+	reduceStages []mapreduce.StageFactory
+	mapPlacement func(int, *dfs.Chunk) []sim.NodeID
+	// stagesRanUpstream marks jobs whose map stages already executed
+	// inside the previous job's BoundaryLate reduce.
+	stagesRanUpstream bool
+}
+
+// shuffleSpec describes a shuffle job's group-lookup reduce.
+type shuffleSpec struct {
+	x           *opExec
+	pos         int
+	boundary    Boundary
+	emitNextPos int
+}
+
+// compiled is a full plan lowered to a job sequence.
+type compiled struct {
+	jobs  []*cjob
+	execs map[string]*opExec
+}
+
+// compilePlan lowers a job plan into the MapReduce job chain the plan
+// implementer will run (Figure 7's layouts generalized to whole jobs).
+func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, error) {
+	co := &compiled{execs: make(map[string]*opExec)}
+	for _, p := range plan.All() {
+		co.execs[p.Op.Name()] = newOpExec(p.Op, p, conf.CacheCapacity)
+	}
+
+	cur := &cjob{name: fmt.Sprintf("%s-j0", conf.Name)}
+	co.jobs = append(co.jobs, cur)
+	reduceSide := false
+
+	appendStage := func(f mapreduce.StageFactory) {
+		if reduceSide {
+			cur.reduceStages = append(cur.reduceStages, f)
+		} else {
+			cur.mapStages = append(cur.mapStages, f)
+		}
+	}
+	newJob := func() *cjob {
+		j := &cjob{name: fmt.Sprintf("%s-j%d", conf.Name, len(co.jobs))}
+		co.jobs = append(co.jobs, j)
+		return j
+	}
+
+	compileOp := func(p OperatorPlan) error {
+		x := co.execs[p.Op.Name()]
+		s := p.shuffleCount()
+		if s == 0 {
+			appendStage(x.inlineStage())
+			return nil
+		}
+		for i := 0; i < s; i++ {
+			if st := p.Decisions[i].Strategy; st != Repartition && st != IndexLocality {
+				return fmt.Errorf("efind: operator %q plan has shuffle strategies after inline ones (violates Property 4)", p.Op.Name())
+			}
+		}
+		appendStage(x.shuffleEmitStage(0, false))
+		for i := 0; i < s; i++ {
+			d := p.Decisions[i]
+			spec := &shuffleSpec{x: x, pos: i, emitNextPos: -1}
+			if i < s-1 {
+				spec.boundary = BoundaryIdx
+				spec.emitNextPos = i + 1
+			} else {
+				spec.boundary = d.Boundary
+				if d.Strategy == IndexLocality {
+					spec.boundary = BoundaryPre
+				}
+			}
+			if cur.userReduce || cur.shuffle != nil {
+				// The current job's reduce slot is taken (the user reduce
+				// of a tail-operator flow): host this group-by in a fresh
+				// job whose map is the identity over (ik, carrier) pairs.
+				cur = newJob()
+				reduceSide = false
+			}
+			cur.shuffle = spec
+			// Partitioning of the shuffle job: co-partition with the index
+			// for locality, hash otherwise.
+			if d.Strategy == IndexLocality {
+				sch := p.Op.Indices()[d.Index].(index.Partitioned).Scheme()
+				cur.partition = func(key string, _ int) int { return sch.Fn(key) }
+				cur.numReduce = sch.Partitions
+			} else {
+				cur.partition = nil
+				cur.numReduce = rt.Engine.Cluster.ReduceSlots()
+			}
+
+			next := newJob()
+			if i == s-1 {
+				switch spec.boundary {
+				case BoundaryPre:
+					next.mapStages = append(next.mapStages, x.resumeStage(i, true))
+					if d.Strategy == IndexLocality {
+						sch := p.Op.Indices()[d.Index].(index.Partitioned).Scheme()
+						next.mapPlacement = func(_ int, ch *dfs.Chunk) []sim.NodeID {
+							// The shuffling job co-partitioned the keys
+							// with the index: chunk shard = partition.
+							if ch != nil && ch.Shard >= 0 && ch.Shard < len(sch.Hosts) {
+								return sch.Hosts[ch.Shard]
+							}
+							return nil
+						}
+					}
+				case BoundaryIdx, BoundaryLate:
+					next.mapStages = append(next.mapStages, x.resumeStage(i+1, false))
+					if spec.boundary == BoundaryLate {
+						next.stagesRanUpstream = true
+					}
+				}
+			}
+			cur = next
+			reduceSide = false
+		}
+		return nil
+	}
+
+	for _, p := range plan.Head {
+		if err := compileOp(p); err != nil {
+			return nil, err
+		}
+	}
+	if conf.Mapper != nil {
+		appendStage(mapperStage(conf.Mapper))
+	}
+	for _, p := range plan.Body {
+		if err := compileOp(p); err != nil {
+			return nil, err
+		}
+	}
+	if conf.Reducer != nil {
+		cur.userReduce = true
+		cur.numReduce = conf.NumReduce
+		reduceSide = true
+		for _, p := range plan.Tail {
+			if err := compileOp(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return co, nil
+}
+
+// engineJob materializes a compiled job into a runnable mapreduce.Job.
+// lateCont supplies the continuation stages for BoundaryLate shuffles
+// (the next job's map stages).
+func (co *compiled) engineJob(conf *IndexJobConf, k int, input *dfs.File) *mapreduce.Job {
+	cj := co.jobs[k]
+	job := &mapreduce.Job{
+		Name:         cj.name,
+		Input:        input,
+		Partition:    cj.partition,
+		NumReduce:    cj.numReduce,
+		MapPlacement: cj.mapPlacement,
+	}
+	if !cj.stagesRanUpstream {
+		job.MapStagesBefore = cj.mapStages
+	}
+	switch {
+	case cj.shuffle != nil:
+		var cont []mapreduce.StageFactory
+		if cj.shuffle.boundary == BoundaryLate && k+1 < len(co.jobs) {
+			cont = co.jobs[k+1].mapStages
+		}
+		job.Reduce = cj.shuffle.x.groupReduce(cj.shuffle.pos, cj.shuffle.boundary, cj.shuffle.emitNextPos, cont)
+	case cj.userReduce:
+		job.Reduce = conf.Reducer
+		job.Combine = conf.Combiner
+		job.ReduceStagesAfter = cj.reduceStages
+	}
+	if k == len(co.jobs)-1 {
+		job.OutputName = conf.OutputName
+	}
+	return job
+}
+
+// runPlan compiles and executes a plan, chaining intermediate outputs and
+// cleaning up temporaries.
+func (rt *Runtime) runPlan(conf *IndexJobConf, plan *JobPlan) (*JobResult, error) {
+	co, err := compilePlan(rt, conf, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Plan: plan, Counters: make(map[string]int64)}
+	input := conf.Input
+	for k := range co.jobs {
+		job := co.engineJob(conf, k, input)
+		r, err := rt.Engine.Run(job)
+		if err != nil {
+			return nil, fmt.Errorf("efind: job %q: %w", job.Name, err)
+		}
+		res.raw = append(res.raw, r)
+		res.VTime += r.VTime
+		res.JobsRun++
+		for name, v := range r.Counters {
+			res.Counters[name] += v
+		}
+		if input != conf.Input {
+			if err := rt.Engine.FS.Remove(input.Name); err != nil {
+				return nil, err
+			}
+		}
+		input = r.Output
+	}
+	res.Output = input
+	return res, nil
+}

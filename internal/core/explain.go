@@ -1,0 +1,35 @@
+package core
+
+import "fmt"
+
+// ExplainCosts renders a human-readable breakdown of the four strategies'
+// modeled costs for one index at one operator, used by cmd/efind-plan.
+func ExplainCosts(st *OperatorStats, is IndexStats, env Env, pos OpPosition) []string {
+	var out []string
+	unit := lookupUnit(is, env)
+	out = append(out, fmt.Sprintf("lookup unit (Sik+Siv)/BW + Tj           = %.6f s", unit))
+
+	base := costBaseline(st, is, env)
+	out = append(out, fmt.Sprintf("baseline   N1·Nik·unit                  = %.4f s", base))
+
+	cache := costCache(st, is, env)
+	out = append(out, fmt.Sprintf("cache      N1·Nik·(Tcache + R·unit)     = %.4f s  (R=%.2f)", cache, is.R))
+
+	spreEff := st.Spre
+	sidxEff := spreEff + is.Nik*(is.Sik+is.Siv)
+	sizes := boundarySizes(pos, st, spreEff, sidxEff)
+	for _, b := range []Boundary{BoundaryPre, BoundaryIdx, BoundaryLate} {
+		shuffle, result, lookup := repartParts(st, is, env, spreEff, sizes[b])
+		if b != BoundaryPre {
+			lookup *= env.laneFactor()
+		}
+		total := shuffle + result + lookup + env.JobOverhead
+		out = append(out, fmt.Sprintf(
+			"repart/%-4s shuffle=%.4f + result=%.4f + lookup=%.4f + job=%.4f = %.4f s (S_min=%.0fB)",
+			b, shuffle, result, lookup, env.JobOverhead, total, sizes[b]))
+	}
+
+	idxloc := costIdxLoc(st, is, env, spreEff)
+	out = append(out, fmt.Sprintf("idxloc     (local lookups + input move)  = %.4f s", idxloc))
+	return out
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"efind/internal/kvstore"
+	"efind/internal/sim"
+)
+
+// TestStrategyPositionGrid exercises every (operator position × strategy ×
+// boundary) combination on the same workload and demands bit-identical
+// outputs: the strategies are performance choices, never semantic ones.
+func TestStrategyPositionGrid(t *testing.T) {
+	positions := []struct {
+		name  string
+		place func(*IndexJobConf, *Operator)
+	}{
+		{"head", headPlace},
+		{"body", bodyPlace},
+		{"tail", tailPlace},
+	}
+	type variant struct {
+		name     string
+		strategy Strategy
+		boundary Boundary
+		forced   bool
+	}
+	variants := []variant{
+		{"baseline", Baseline, 0, false},
+		{"cache", LookupCache, 0, false},
+		{"repart-pre", Repartition, BoundaryPre, true},
+		{"repart-idx", Repartition, BoundaryIdx, true},
+		{"repart-late", Repartition, BoundaryLate, true},
+		{"idxloc", IndexLocality, BoundaryPre, true},
+	}
+	for _, pos := range positions {
+		t.Run(pos.name, func(t *testing.T) {
+			e := newE2E(t, 500, 30)
+			var want []string
+			for _, v := range variants {
+				op := e.lookupOp(fmt.Sprintf("g-%s-%s", pos.name, v.name))
+				mode := ModeBaseline
+				if v.name == "cache" {
+					mode = ModeCache
+				} else if v.forced {
+					mode = ModeCustom
+				}
+				conf := e.conf(fmt.Sprintf("job-g-%s-%s", pos.name, v.name), mode, op, pos.place)
+				if v.forced {
+					conf.ForceStrategy(op.Name(), e.store.Name(), v.strategy)
+					conf.ForceBoundary(op.Name(), e.store.Name(), v.boundary)
+				}
+				res, err := e.rt.Submit(conf)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", pos.name, v.name, err)
+				}
+				got := sortedOutput(res.Output)
+				if want == nil {
+					want = got
+					if len(want) != 500 {
+						t.Fatalf("%s/%s: %d records", pos.name, v.name, len(want))
+					}
+					continue
+				}
+				sameOutput(t, pos.name+"/"+v.name, want, got)
+			}
+		})
+	}
+}
+
+// TestTwoShuffleIndicesOneOperator chains two re-partitioned indices in a
+// single operator (two shuffling jobs back to back, §3.5).
+func TestTwoShuffleIndicesOneOperator(t *testing.T) {
+	e := newE2E(t, 500, 25)
+	store2 := kvstore.NewHash(e.cluster, "kv2", 8, 3, 0.0005)
+	for i := 0; i < 25; i++ {
+		store2.Put(fmt.Sprintf("ik%04d", i), fmt.Sprintf("two-%04d", i))
+	}
+	mkOp := func(name string) *Operator {
+		op := NewOperator(name,
+			func(in Pair) PreResult {
+				fields := strings.Fields(in.Value)
+				ik := fields[len(fields)-1]
+				return PreResult{Pair: in, Keys: [][]string{{ik}, {ik}}}
+			},
+			func(pair Pair, results [][]KeyResult, emit Emit) {
+				a, b := "", ""
+				if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+					a = results[0][0].Values[0]
+				}
+				if len(results[1]) > 0 && len(results[1][0].Values) > 0 {
+					b = results[1][0].Values[0]
+				}
+				emit(Pair{Key: pair.Key, Value: a + "&" + b})
+			})
+		op.AddIndex(e.store)
+		op.AddIndex(store2)
+		return op
+	}
+
+	ref, err := e.rt.Submit(e.conf("job-2s-ref", ModeBaseline, mkOp("two-ref"), headPlace))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conf := e.conf("job-2s", ModeCustom, mkOp("two"), headPlace)
+	conf.ForceStrategy("two", e.store.Name(), Repartition)
+	conf.ForceStrategy("two", "kv2", Repartition)
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsRun < 3 {
+		t.Fatalf("two shuffle indices should run ≥3 jobs, ran %d", res.JobsRun)
+	}
+	sameOutput(t, "two-shuffles", sortedOutput(ref.Output), sortedOutput(res.Output))
+}
+
+// TestFullPipelineHeadBodyTail runs one job with operators at all three
+// positions under baseline and under a mixed forced plan, outputs equal.
+func TestFullPipelineHeadBodyTail(t *testing.T) {
+	run := func(forced bool) []string {
+		e := newE2E(t, 600, 20)
+		store2 := kvstore.NewHash(e.cluster, "kv2", 8, 3, 0.0004)
+		store3 := kvstore.NewHash(e.cluster, "kv3", 8, 3, 0.0004)
+		for i := 0; i < 20; i++ {
+			store2.Put(fmt.Sprintf("ik%04d", i), fmt.Sprintf("B%02d", i))
+		}
+		// Tail op looks up the reduce group key (record key prefix).
+		for i := 0; i < 10; i++ {
+			store3.Put(fmt.Sprintf("r%02d", i), fmt.Sprintf("T%02d", i))
+		}
+
+		headOp := e.lookupOp("p-head")
+		bodyOp := NewOperator("p-body",
+			func(in Pair) PreResult {
+				fields := strings.Fields(in.Value)
+				return PreResult{Pair: in, Keys: [][]string{{fields[1]}}}
+			},
+			func(pair Pair, results [][]KeyResult, emit Emit) {
+				v := "?"
+				if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+					v = results[0][0].Values[0]
+				}
+				emit(Pair{Key: pair.Key[:3], Value: pair.Value + "+" + v})
+			})
+		bodyOp.AddIndex(store2)
+		tailOp := NewOperator("p-tail",
+			func(in Pair) PreResult {
+				return PreResult{Pair: in, Keys: [][]string{{in.Key}}}
+			},
+			func(pair Pair, results [][]KeyResult, emit Emit) {
+				v := "?"
+				if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+					v = results[0][0].Values[0]
+				}
+				emit(Pair{Key: pair.Key, Value: pair.Value + "/" + v})
+			})
+		tailOp.AddIndex(store3)
+
+		conf := e.conf("job-pipeline", ModeBaseline, headOp, headPlace)
+		conf.AddBodyIndexOperator(bodyOp)
+		conf.AddTailIndexOperator(tailOp)
+		if forced {
+			conf.Mode = ModeCustom
+			conf.ForceStrategy("p-head", e.store.Name(), Repartition)
+			conf.ForceStrategy("p-body", "kv2", LookupCache)
+			conf.ForceStrategy("p-tail", "kv3", Repartition)
+		}
+		res, err := e.rt.Submit(conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if forced && res.JobsRun < 3 {
+			t.Fatalf("forced plan should run head-shuffle + main + tail-shuffle jobs, ran %d", res.JobsRun)
+		}
+		return sortedOutput(res.Output)
+	}
+	base := run(false)
+	mixed := run(true)
+	sameOutput(t, "full-pipeline", base, mixed)
+	if len(base) == 0 {
+		t.Fatal("pipeline produced nothing")
+	}
+}
+
+// failingAccessor errors on every lookup.
+type failingAccessor struct{ fakeAccessor }
+
+func (failingAccessor) Lookup(string) ([]string, error) {
+	return nil, errors.New("index down")
+}
+
+// TestIndexErrorsSurfaceAsCounters: a failing index yields empty results
+// plus an error counter, never a crash.
+func TestIndexErrorsSurfaceAsCounters(t *testing.T) {
+	e := newE2E(t, 100, 10)
+	op := NewOperator("err-op", nil, nil).AddIndex(failingAccessor{fakeAccessor{name: "down"}})
+	conf := e.conf("job-err", ModeBaseline, op, headPlace)
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["efind.err-op.ix.down.errors"] != 100 {
+		t.Fatalf("error counter = %d, want 100", res.Counters["efind.err-op.ix.down.errors"])
+	}
+	if res.Output.Records() != 100 {
+		t.Fatalf("records should still flow: %d", res.Output.Records())
+	}
+}
+
+// TestCatalogReuseAcrossJobs: statistics harvested by one dynamic job feed
+// a later optimized submission of the same operators (the catalog
+// persists across jobs, Figure 8).
+func TestCatalogReuseAcrossJobs(t *testing.T) {
+	e := newAdaptiveE2E(t, 3000, 30)
+	op1 := e.lookupOp("shared-op")
+	if _, err := e.rt.Submit(e.conf("job-first", ModeDynamic, op1, headPlace)); err != nil {
+		t.Fatal(err)
+	}
+	if e.rt.Catalog.Get("shared-op") == nil {
+		t.Fatal("dynamic run should populate the catalog")
+	}
+	// Same operator name in a second job: optimized planning works with
+	// no stats pass.
+	op2 := e.lookupOp("shared-op")
+	res, err := e.rt.Submit(e.conf("job-second", ModeOptimized, op2, headPlace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Plan.Head[0].Decisions[0]; d.Strategy == Baseline {
+		t.Fatalf("optimized run should have used catalog stats, got %v", res.Plan)
+	}
+
+	// A third dynamic submission warm-starts from the catalog: no
+	// baseline statistics phase, plan comes out optimized immediately.
+	op3 := e.lookupOp("shared-op")
+	warm, err := e.rt.Submit(e.conf("job-third", ModeDynamic, op3, headPlace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := warm.Plan.Head[0].Decisions[0]; d.Strategy == Baseline {
+		t.Fatalf("warm dynamic run should start from the catalog plan, got %v", warm.Plan)
+	}
+	if warm.Replanned {
+		t.Fatal("warm dynamic run should not need a mid-job change")
+	}
+	if warm.VTime >= res.VTime*1.3 {
+		t.Fatalf("warm dynamic (%g) should track optimized (%g)", warm.VTime, res.VTime)
+	}
+}
+
+// TestRecordsWithoutKeysFlowThroughShuffle: records whose preProcess
+// extracts no key must survive a re-partitioning shuffle untouched.
+func TestRecordsWithoutKeysFlowThroughShuffle(t *testing.T) {
+	e := newE2E(t, 300, 20)
+	op := NewOperator("sparse",
+		func(in Pair) PreResult {
+			// Only every third record gets a lookup key.
+			fields := strings.Fields(in.Value)
+			if in.Key[len(in.Key)-1]%3 != 0 {
+				return PreResult{Pair: in}
+			}
+			return PreResult{Pair: in, Keys: [][]string{{fields[len(fields)-1]}}}
+		},
+		func(pair Pair, results [][]KeyResult, emit Emit) {
+			tag := "skipped"
+			if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+				tag = "hit"
+			}
+			emit(Pair{Key: pair.Key, Value: tag})
+		})
+	op.AddIndex(e.store)
+
+	ref, err := e.rt.Submit(e.conf("job-sparse-ref", ModeBaseline, cloneSparseOp(op, "sparse-ref", e), headPlace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := e.conf("job-sparse", ModeCustom, op, headPlace)
+	conf.ForceStrategy("sparse", e.store.Name(), Repartition)
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutput(t, "sparse", sortedOutput(ref.Output), sortedOutput(res.Output))
+	if res.Output.Records() != 300 {
+		t.Fatalf("records = %d, want 300 (pass-through records must survive)", res.Output.Records())
+	}
+}
+
+func cloneSparseOp(src *Operator, name string, e *e2eEnv) *Operator {
+	op := NewOperator(name, src.pre, src.post)
+	op.AddIndex(e.store)
+	return op
+}
+
+// TestCacheSharedPerNodeNotPerTask: the lookup cache is per machine, so a
+// key seen by an earlier task on the same node hits for later tasks.
+func TestCacheSharedPerNodeNotPerTask(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 1 // single node: all tasks share one cache
+	cfg.MapSlotsPerNode = 1
+	cfg.ReduceSlotsPerNode = 1
+	cfg.TaskStartup = 0.001
+	e := newE2EWith(t, cfg, 400, 10)
+	op := e.lookupOp("one-node")
+	conf := e.conf("job-one-node", ModeCache, op, headPlace)
+	if _, err := e.rt.Submit(conf); err != nil {
+		t.Fatal(err)
+	}
+	// 10 distinct keys over 400 records on one shared cache: exactly 10
+	// real lookups.
+	if got := e.store.Lookups(); got != 10 {
+		t.Fatalf("lookups = %d, want 10 (cache must be node-shared across tasks)", got)
+	}
+}

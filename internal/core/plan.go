@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"efind/internal/index"
+)
+
+// Decision fixes the strategy (and, for re-partitioning, the job boundary)
+// of one index within an operator plan.
+type Decision struct {
+	// Index is the accessor's position in the operator's AddIndex order.
+	Index int
+	// Strategy is the chosen access strategy.
+	Strategy Strategy
+	// Boundary is the materialization point for Repartition plans
+	// (IndexLocality always uses BoundaryPre).
+	Boundary Boundary
+	// Cost is the modeled per-machine cost of this decision, 0 when no
+	// statistics were available.
+	Cost float64
+}
+
+// OperatorPlan orders an operator's indices and assigns each a strategy.
+// Per Property 4, indices with Repartition or IndexLocality strategies
+// appear before Baseline/LookupCache ones.
+type OperatorPlan struct {
+	Op        *Operator
+	Pos       OpPosition
+	Decisions []Decision
+	// Cost is the modeled total per-machine cost (0 without statistics).
+	Cost float64
+}
+
+// String renders the plan compactly, e.g. "geo[repart/pre] events[cache]".
+func (p OperatorPlan) String() string {
+	parts := make([]string, 0, len(p.Decisions))
+	for _, d := range p.Decisions {
+		name := p.Op.Indices()[d.Index].Name()
+		if d.Strategy == Repartition {
+			parts = append(parts, fmt.Sprintf("%s[%s/%s]", name, d.Strategy, d.Boundary))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s[%s]", name, d.Strategy))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// shuffleCount returns how many shuffle jobs this operator plan inserts.
+func (p OperatorPlan) shuffleCount() int {
+	n := 0
+	for _, d := range p.Decisions {
+		if d.Strategy == Repartition || d.Strategy == IndexLocality {
+			n++
+		}
+	}
+	return n
+}
+
+// JobPlan assigns a plan to every operator of an EFind job.
+type JobPlan struct {
+	Head, Body, Tail []OperatorPlan
+	// Cost is the modeled total per-machine index-access cost.
+	Cost float64
+}
+
+// String renders the whole plan.
+func (p *JobPlan) String() string {
+	var b strings.Builder
+	write := func(pos string, plans []OperatorPlan) {
+		for _, op := range plans {
+			fmt.Fprintf(&b, "%s/%s{%s} ", pos, op.Op.Name(), op.String())
+		}
+	}
+	write("head", p.Head)
+	write("body", p.Body)
+	write("tail", p.Tail)
+	return strings.TrimSpace(b.String())
+}
+
+// All returns every operator plan in data-flow order.
+func (p *JobPlan) All() []OperatorPlan {
+	out := make([]OperatorPlan, 0, len(p.Head)+len(p.Body)+len(p.Tail))
+	out = append(out, p.Head...)
+	out = append(out, p.Body...)
+	out = append(out, p.Tail...)
+	return out
+}
+
+// PlannerOptions tunes plan enumeration.
+type PlannerOptions struct {
+	// FullEnumerateLimit is the largest index count m for which all m!
+	// orders are enumerated; larger operators fall back to k-Repart
+	// (§3.5: "when m is very large, FullEnumerate may be too expensive").
+	FullEnumerateLimit int
+	// KRepart is the k of the fallback Algorithm k-Repart.
+	KRepart int
+}
+
+// DefaultPlannerOptions mirrors the paper's guidance (m ≤ 5 is cheap to
+// enumerate; 1-Repart or 2-Repart otherwise).
+func DefaultPlannerOptions() PlannerOptions {
+	return PlannerOptions{FullEnumerateLimit: 5, KRepart: 2}
+}
+
+// baselinePlan is the no-statistics default: natural order, all Baseline.
+func baselinePlan(op *Operator, pos OpPosition) OperatorPlan {
+	p := OperatorPlan{Op: op, Pos: pos}
+	for i := range op.Indices() {
+		p.Decisions = append(p.Decisions, Decision{Index: i, Strategy: Baseline})
+	}
+	return p
+}
+
+// uniformPlan assigns one strategy to every index (forced Base/Cache
+// experiment modes).
+func uniformPlan(op *Operator, pos OpPosition, s Strategy) OperatorPlan {
+	p := OperatorPlan{Op: op, Pos: pos}
+	for i := range op.Indices() {
+		p.Decisions = append(p.Decisions, Decision{Index: i, Strategy: s})
+	}
+	return p
+}
+
+// repartFeasible reports whether a shuffle-based strategy can be applied
+// to the index: re-partitioning needs at most one lookup key per record
+// (carriers are routed by their single key).
+func repartFeasible(is IndexStats) bool {
+	return !is.MultiKey && is.Nik > 0
+}
+
+// idxLocFeasible additionally requires the index to expose its partition
+// scheme with known hosts.
+func idxLocFeasible(a index.Accessor, is IndexStats) bool {
+	if !repartFeasible(is) {
+		return false
+	}
+	p, ok := a.(index.Partitioned)
+	if !ok {
+		return false
+	}
+	sch := p.Scheme()
+	return sch != nil && sch.Partitions > 0 && len(sch.Hosts) == sch.Partitions
+}
+
+// OptimizeOperator computes the best plan for one operator from its
+// statistics using FullEnumerate when m is small and k-Repart otherwise.
+// A nil st yields the baseline plan.
+func OptimizeOperator(op *Operator, pos OpPosition, st *OperatorStats, env Env, opts PlannerOptions) OperatorPlan {
+	if st == nil {
+		return baselinePlan(op, pos)
+	}
+	m := op.NumIndices()
+	if opts.FullEnumerateLimit <= 0 {
+		opts.FullEnumerateLimit = 5
+	}
+	if opts.KRepart <= 0 {
+		opts.KRepart = 2
+	}
+	var orders [][]int
+	if m <= opts.FullEnumerateLimit {
+		orders = permutations(m)
+	} else {
+		orders = kPermutations(m, opts.KRepart)
+	}
+	best := OperatorPlan{Cost: -1}
+	for _, order := range orders {
+		p := planForOrder(op, pos, st, env, order)
+		if best.Cost < 0 || p.Cost < best.Cost {
+			best = p
+		}
+	}
+	return best
+}
+
+// planForOrder applies Property 3 (fixed order ⇒ per-index strategy
+// choices independent) and Property 4 (repartitioned indices first) to
+// compute the cheapest plan for one access order.
+func planForOrder(op *Operator, pos OpPosition, st *OperatorStats, env Env, order []int) OperatorPlan {
+	p := OperatorPlan{Op: op, Pos: pos}
+	spreEff := st.Spre
+	allowShuffle := true
+	for _, idx := range order {
+		a := op.Indices()[idx]
+		is := st.Index[a.Name()]
+		d := Decision{Index: idx, Strategy: Baseline, Cost: costBaseline(st, is, env)}
+		if c := costCache(st, is, env); c < d.Cost {
+			d = Decision{Index: idx, Strategy: LookupCache, Cost: c}
+		}
+		if allowShuffle && repartFeasible(is) {
+			sidxEff := spreEff + is.Nik*(is.Sik+is.Siv)
+			b, c := bestRepartBoundary(pos, st, is, env, spreEff, sidxEff)
+			if c < d.Cost {
+				d = Decision{Index: idx, Strategy: Repartition, Boundary: b, Cost: c}
+			}
+			if idxLocFeasible(a, is) {
+				if c := costIdxLoc(st, is, env, spreEff); c < d.Cost {
+					d = Decision{Index: idx, Strategy: IndexLocality, Boundary: BoundaryPre, Cost: c}
+				}
+			}
+		}
+		if d.Strategy == Baseline || d.Strategy == LookupCache {
+			// Property 4: once a non-shuffle strategy is chosen, the
+			// remaining indices only consider baseline/cache.
+			allowShuffle = false
+		}
+		// Later shuffles carry this index's attached results.
+		spreEff += is.Nik * (is.Sik + is.Siv)
+		p.Decisions = append(p.Decisions, d)
+		p.Cost += d.Cost
+	}
+	return p
+}
+
+// permutations returns all orders of [0, m).
+func permutations(m int) [][]int {
+	cur := make([]int, 0, m)
+	used := make([]bool, m)
+	var out [][]int
+	var rec func()
+	rec = func() {
+		if len(cur) == m {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, i)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// kPermutations returns the orders of Algorithm k-Repart: each
+// k-permutation of [0, m) followed by the remaining indices in natural
+// order (only the first k are candidates for shuffle strategies; cost
+// evaluation of the rest is order-independent by Property 1).
+func kPermutations(m, k int) [][]int {
+	if k >= m {
+		return permutations(m)
+	}
+	var out [][]int
+	cur := make([]int, 0, k)
+	used := make([]bool, m)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			order := append([]int(nil), cur...)
+			for i := 0; i < m; i++ {
+				if !used[i] {
+					order = append(order, i)
+				}
+			}
+			out = append(out, order)
+			return
+		}
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, i)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// PlanCost re-evaluates an operator plan's cost under (possibly newer)
+// statistics; used by Algorithm 1 to compare the current plan against a
+// re-optimized one.
+func PlanCost(p OperatorPlan, st *OperatorStats, env Env) float64 {
+	if st == nil {
+		return 0
+	}
+	total := 0.0
+	spreEff := st.Spre
+	for _, d := range p.Decisions {
+		a := p.Op.Indices()[d.Index]
+		is := st.Index[a.Name()]
+		switch d.Strategy {
+		case Baseline:
+			total += costBaseline(st, is, env)
+		case LookupCache:
+			total += costCache(st, is, env)
+		case Repartition:
+			sidxEff := spreEff + is.Nik*(is.Sik+is.Siv)
+			smin := boundarySizes(p.Pos, st, spreEff, sidxEff)[d.Boundary]
+			total += costRepartAt(d.Boundary, st, is, env, spreEff, smin)
+		case IndexLocality:
+			total += costIdxLoc(st, is, env, spreEff)
+		}
+		spreEff += is.Nik * (is.Sik + is.Siv)
+	}
+	return total
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"efind/internal/index"
+	"efind/internal/lru"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+)
+
+// opExec is the runtime state of one operator under one plan: node-shared
+// lookup caches (real and shadow) plus the stage builders that compile the
+// plan into chained MapReduce functions.
+type opExec struct {
+	op       *Operator
+	plan     OperatorPlan
+	cacheCap int
+	caches   map[int]map[sim.NodeID]*lru.Cache // decision position → node → cache
+	shadows  map[int]map[sim.NodeID]*lru.Cache
+}
+
+func newOpExec(op *Operator, plan OperatorPlan, cacheCap int) *opExec {
+	if cacheCap <= 0 {
+		cacheCap = DefaultCacheCapacity
+	}
+	return &opExec{
+		op:       op,
+		plan:     plan,
+		cacheCap: cacheCap,
+		caches:   make(map[int]map[sim.NodeID]*lru.Cache),
+		shadows:  make(map[int]map[sim.NodeID]*lru.Cache),
+	}
+}
+
+// cacheFor returns the node's lookup cache for the decision at pos,
+// creating it lazily. The cache is shared by all tasks on the node,
+// matching the paper's per-machine lookup cache.
+func (x *opExec) cacheFor(pos int, node sim.NodeID, shadow bool) *lru.Cache {
+	m := x.caches
+	if shadow {
+		m = x.shadows
+	}
+	byNode, ok := m[pos]
+	if !ok {
+		byNode = make(map[sim.NodeID]*lru.Cache)
+		m[pos] = byNode
+	}
+	c, ok := byNode[node]
+	if !ok {
+		c = lru.New(x.cacheCap)
+		byNode[node] = c
+	}
+	return c
+}
+
+// valueBytes sizes a lookup result the way the wire format would.
+func valueBytes(values []string) int {
+	n := 0
+	for _, v := range values {
+		n += len(v) + 4
+	}
+	return n
+}
+
+// realLookup performs one actual index access from the given node,
+// charging the serve time T_j plus network transfer when no replica of the
+// key's partition lives on the node.
+func (x *opExec) realLookup(ctx *mapreduce.TaskContext, a index.Accessor, ik string) []string {
+	opName := x.op.Name()
+	values, err := a.Lookup(ik)
+	if err != nil {
+		// Index errors surface as a counter and an empty result; EFind
+		// treats indices as black boxes and cannot retry more sensibly.
+		ctx.Inc("efind."+opName+".ix."+a.Name()+".errors", 1)
+		values = nil
+	}
+	serve := a.ServeTime()
+	ctx.Charge(serve)
+	ctx.Inc(ctrServeNS(opName, a.Name()), int64(serve*1e9))
+	ctx.Inc(ctrLookups(opName, a.Name()), 1)
+	hosts := a.HostsFor(ik)
+	if hosts == nil || !sim.ContainsNode(hosts, ctx.Node) {
+		ctx.ChargeNet(float64(len(ik) + 4 + valueBytes(values)))
+	}
+	return values
+}
+
+// countKey records the per-key statistics (Nik, Sik, the FM sketch) for
+// one extracted lookup key.
+func (x *opExec) countKey(ctx *mapreduce.TaskContext, pos int, ik string) {
+	a := x.op.Indices()[x.plan.Decisions[pos].Index]
+	op := x.op.Name()
+	ctx.Inc(ctrKeys(op, a.Name()), 1)
+	ctx.Inc(ctrKeyBytes(op, a.Name()), int64(len(ik)))
+	ctx.Sketch(skKeys(op, a.Name()), fmWidth).Add(ik)
+}
+
+// countValues records Siv for one key occurrence once its values are
+// known (from the index, the cache, or a shuffle-attached result).
+func (x *opExec) countValues(ctx *mapreduce.TaskContext, pos int, values []string) {
+	a := x.op.Indices()[x.plan.Decisions[pos].Index]
+	ctx.Inc(ctrValBytes(x.op.Name(), a.Name()), int64(valueBytes(values)))
+}
+
+// lookupInline resolves one key under the decision at pos using the
+// Baseline or LookupCache strategy. Baseline additionally probes a
+// key-only shadow cache so the miss ratio R is measured without the cache
+// being active (§4.2's "simple version of the lookup cache").
+func (x *opExec) lookupInline(ctx *mapreduce.TaskContext, pos int, ik string) []string {
+	d := x.plan.Decisions[pos]
+	a := x.op.Indices()[d.Index]
+	opName := x.op.Name()
+	x.countKey(ctx, pos, ik)
+
+	var values []string
+	switch d.Strategy {
+	case LookupCache:
+		ctx.Charge(ctx.Cluster().Config().CacheProbeTime)
+		ctx.Inc(ctrProbes(opName, a.Name()), 1)
+		cache := x.cacheFor(pos, ctx.Node, false)
+		if hit, ok := cache.Get(ik); ok {
+			values = hit
+		} else {
+			ctx.Inc(ctrMisses(opName, a.Name()), 1)
+			values = x.realLookup(ctx, a, ik)
+			cache.Put(ik, values)
+		}
+	default: // Baseline (shuffle strategies never reach inline lookup)
+		shadow := x.cacheFor(pos, ctx.Node, true)
+		ctx.Inc(ctrProbes(opName, a.Name()), 1)
+		if _, ok := shadow.Get(ik); !ok {
+			ctx.Inc(ctrMisses(opName, a.Name()), 1)
+			shadow.Put(ik, nil)
+		}
+		values = x.realLookup(ctx, a, ik)
+	}
+	x.countValues(ctx, pos, values)
+	return values
+}
+
+// runPreInstrumented runs preProcess with the N1/S1/Spre counters and
+// flags records with more than one key for any index (re-partitioning
+// feasibility).
+func (x *opExec) runPreInstrumented(ctx *mapreduce.TaskContext, in Pair) *carrier {
+	op := x.op.Name()
+	ctx.Inc(ctrPreIn(op), 1)
+	ctx.Inc(ctrPreInBytes(op), int64(in.Size()))
+	pr := x.op.runPre(in)
+	c := &carrier{
+		Pair:    pr.Pair,
+		Keys:    pr.Keys,
+		Results: make([][]KeyResult, x.op.NumIndices()),
+	}
+	ctx.Inc(ctrPreOutBytes(op), int64(c.size()))
+	for j, ks := range pr.Keys {
+		if len(ks) > 1 && j < x.op.NumIndices() {
+			ctx.Inc(ctrMulti(op, x.op.Indices()[j].Name()), 1)
+		}
+	}
+	return c
+}
+
+// finishCarrier performs the inline lookups for decisions[startPos:] and
+// runs postProcess, emitting (k2, v2) pairs. Decisions before startPos
+// must already have results attached (by shuffle jobs).
+func (x *opExec) finishCarrier(ctx *mapreduce.TaskContext, c *carrier, startPos int, emit Emit) {
+	op := x.op.Name()
+	for pos := startPos; pos < len(x.plan.Decisions); pos++ {
+		d := x.plan.Decisions[pos]
+		if d.Index >= len(c.Keys) {
+			continue
+		}
+		keys := c.Keys[d.Index]
+		results := make([]KeyResult, 0, len(keys))
+		for _, ik := range keys {
+			results = append(results, KeyResult{Key: ik, Values: x.lookupInline(ctx, pos, ik)})
+		}
+		c.Results[d.Index] = results
+	}
+	ctx.Inc(ctrIdxBytes(op), int64(c.size()))
+	x.op.runPost(c.Pair, c.Results, func(p Pair) {
+		ctx.Inc(ctrPostRecords(op), 1)
+		ctx.Inc(ctrPostBytes(op), int64(p.Size()))
+		emit(p)
+	})
+}
+
+// inlineStage builds the fully chained stage for an operator whose plan
+// has no shuffle strategies: preProcess → lookups → postProcess, all
+// within the enclosing task (Figure 6's baseline layout; the lookup-cache
+// strategy only changes how lookups resolve).
+func (x *opExec) inlineStage() mapreduce.StageFactory {
+	return func(node sim.NodeID) mapreduce.Stage {
+		return &mapreduce.FuncStage{
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				c := x.runPreInstrumented(ctx, in)
+				x.finishCarrier(ctx, c, 0, emit)
+			},
+		}
+	}
+}
+
+// resumeStage builds the map-side stage of the job following a shuffle:
+// it decodes carriers and finishes the operator. When memoFirst is true
+// (BoundaryPre), the lookup for decisions[pos] runs here with run-length
+// memoization — the shuffle sorted equal keys together, so one real index
+// access serves all Θ duplicates in the run.
+func (x *opExec) resumeStage(pos int, memoFirst bool) mapreduce.StageFactory {
+	return func(node sim.NodeID) mapreduce.Stage {
+		var memoKey string
+		var memoVals []string
+		var memoValid bool
+		return &mapreduce.FuncStage{
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				c, err := decodeCarrier(in.Value)
+				if err != nil {
+					ctx.Inc("efind."+x.op.Name()+".carrier.errors", 1)
+					return
+				}
+				next := pos
+				if memoFirst {
+					d := x.plan.Decisions[pos]
+					if d.Index < len(c.Keys) && len(c.Keys[d.Index]) > 0 {
+						ik := c.Keys[d.Index][0]
+						x.countKey(ctx, pos, ik)
+						if !memoValid || memoKey != ik {
+							a := x.op.Indices()[d.Index]
+							memoVals = x.realLookup(ctx, a, ik)
+							memoKey, memoValid = ik, true
+						}
+						x.countValues(ctx, pos, memoVals)
+						c.Results[d.Index] = []KeyResult{{Key: ik, Values: memoVals}}
+					}
+					next = pos + 1
+				}
+				x.finishCarrier(ctx, c, next, emit)
+			},
+		}
+	}
+}
+
+// shuffleEmitStage builds the map-side stage that starts a shuffle for the
+// decision at pos: it runs preProcess (when the operator's records arrive
+// as plain pairs) or decodes carriers (when chained after an earlier
+// shuffle), then emits (ik, carrier) keyed by the index key so the
+// group-by collapses duplicates.
+func (x *opExec) shuffleEmitStage(pos int, carrierIn bool) mapreduce.StageFactory {
+	return func(node sim.NodeID) mapreduce.Stage {
+		return &mapreduce.FuncStage{
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				var c *carrier
+				if carrierIn {
+					var err error
+					c, err = decodeCarrier(in.Value)
+					if err != nil {
+						ctx.Inc("efind."+x.op.Name()+".carrier.errors", 1)
+						return
+					}
+				} else {
+					c = x.runPreInstrumented(ctx, in)
+				}
+				d := x.plan.Decisions[pos]
+				ixIdx := -1
+				if d.Index < len(c.Keys) {
+					ixIdx = d.Index
+				}
+				key, _ := shuffleKeyFor(c, ixIdx)
+				emit(Pair{Key: key, Value: encodeCarrier(c)})
+			},
+		}
+	}
+}
+
+// shuffleKeyFor returns the routing key for index position ixIdx of the
+// carrier (-1 or an absent key list yields a pass-through key).
+func shuffleKeyFor(c *carrier, ixIdx int) (string, bool) {
+	if ixIdx >= 0 && ixIdx < len(c.Keys) && len(c.Keys[ixIdx]) > 0 {
+		return c.Keys[ixIdx][0], true
+	}
+	return passKeyPrefix + c.Pair.Key, false
+}
+
+// groupReduce builds the reduce function of a shuffle job for the decision
+// at pos. The group key is the index key; one real lookup serves the whole
+// group (the Θ deduplication of §3.3). Behaviour then depends on the
+// boundary:
+//
+//   - BoundaryPre: no lookup here; grouped carriers are re-emitted so the
+//     next job's map can do memoized lookups (possibly with index
+//     locality placement).
+//   - BoundaryIdx: lookup once, attach the result to every carrier, emit
+//     carriers.
+//   - BoundaryLate: lookup once, attach, and run the continuation stages
+//     (the rest of the pipeline up to the next job boundary) inside this
+//     reduce, materializing their final output.
+//
+// When emitNextKey ≥ 0 the operator has another shuffle index after this
+// one: carriers are re-keyed by that index for the next shuffle job.
+func (x *opExec) groupReduce(pos int, boundary Boundary, emitNextPos int, continuation []mapreduce.StageFactory) mapreduce.ReduceFunc {
+	return func(ctx *mapreduce.TaskContext, key string, values []string, emit Emit) {
+		d := x.plan.Decisions[pos]
+		pass := isPassKey(key)
+
+		var lookedUp []string
+		doLookup := boundary != BoundaryPre && !pass
+		if doLookup {
+			a := x.op.Indices()[d.Index]
+			lookedUp = x.realLookup(ctx, a, key)
+		}
+
+		var contPipe *reducePipe
+		if boundary == BoundaryLate {
+			contPipe = newReducePipe(ctx, continuation, emit)
+			defer contPipe.close()
+		}
+
+		for _, v := range values {
+			c, err := decodeCarrier(v)
+			if err != nil {
+				ctx.Inc("efind."+x.op.Name()+".carrier.errors", 1)
+				continue
+			}
+			if doLookup && d.Index < len(c.Results) {
+				x.countKey(ctx, pos, key)
+				x.countValues(ctx, pos, lookedUp)
+				c.Results[d.Index] = []KeyResult{{Key: key, Values: lookedUp}}
+			}
+			switch {
+			case boundary == BoundaryLate:
+				contPipe.process(Pair{Key: key, Value: encodeCarrier(c)})
+			case emitNextPos >= 0:
+				nd := x.plan.Decisions[emitNextPos]
+				nk, _ := shuffleKeyFor(c, nd.Index)
+				emit(Pair{Key: nk, Value: encodeCarrier(c)})
+			default:
+				emit(Pair{Key: key, Value: encodeCarrier(c)})
+			}
+		}
+	}
+}
+
+// reducePipe runs a stage pipeline inside a reduce function (the
+// BoundaryLate continuation). Stages are instantiated once per group; the
+// stage factories' node-level state (caches) still dedups across groups.
+type reducePipe struct {
+	ctx    *mapreduce.TaskContext
+	stages []mapreduce.Stage
+	emits  []Emit
+}
+
+func newReducePipe(ctx *mapreduce.TaskContext, factories []mapreduce.StageFactory, sink Emit) *reducePipe {
+	p := &reducePipe{ctx: ctx}
+	for _, f := range factories {
+		p.stages = append(p.stages, f(ctx.Node))
+	}
+	p.emits = make([]Emit, len(p.stages)+1)
+	p.emits[len(p.stages)] = sink
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		st, next := p.stages[i], p.emits[i+1]
+		p.emits[i] = func(pr Pair) { st.Process(ctx, pr, next) }
+	}
+	for _, s := range p.stages {
+		s.Open(ctx)
+	}
+	return p
+}
+
+func (p *reducePipe) process(pr Pair) { p.emits[0](pr) }
+
+func (p *reducePipe) close() {
+	for i, s := range p.stages {
+		s.Close(p.ctx, p.emits[i+1])
+	}
+}
+
+// mapperStage wraps the user's original Map function, measuring its
+// output size (the paper's Smap term).
+func mapperStage(m mapreduce.MapFunc) mapreduce.StageFactory {
+	return func(sim.NodeID) mapreduce.Stage {
+		return &mapreduce.FuncStage{
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				m(ctx, in, func(p Pair) {
+					ctx.Inc(ctrMapOutBytes, int64(p.Size()))
+					ctx.Inc(ctrMapOutRecords, 1)
+					emit(p)
+				})
+			},
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func validateSamples() []Pair {
+	return []Pair{
+		{Key: "r1", Value: "payload ik0001"},
+		{Key: "r2", Value: "payload ik0002"},
+		{Key: "r3", Value: ""},
+	}
+}
+
+func TestValidateOperatorAcceptsGoodOperator(t *testing.T) {
+	op := NewOperator("good",
+		func(in Pair) PreResult {
+			fields := strings.Fields(in.Value)
+			if len(fields) == 0 {
+				return PreResult{Pair: in}
+			}
+			return PreResult{Pair: in, Keys: [][]string{{fields[len(fields)-1]}}}
+		},
+		func(pair Pair, results [][]KeyResult, emit Emit) {
+			v := "none"
+			if len(results) > 0 && len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+				v = results[0][0].Values[0]
+			}
+			emit(Pair{Key: pair.Key, Value: v})
+		})
+	op.AddIndex(fakeAccessor{name: "ix"})
+	if err := ValidateOperator(op, validateSamples()); err != nil {
+		t.Fatalf("good operator rejected: %v", err)
+	}
+}
+
+func TestValidateOperatorCatchesNondeterministicPre(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	op := NewOperator("flaky-pre",
+		func(in Pair) PreResult {
+			return PreResult{Pair: in, Keys: [][]string{{strings.Repeat("k", 1+rng.Intn(8))}}}
+		}, nil)
+	op.AddIndex(fakeAccessor{name: "ix"})
+	if err := ValidateOperator(op, validateSamples()); err == nil {
+		t.Fatal("nondeterministic preProcess should be rejected")
+	}
+}
+
+func TestValidateOperatorCatchesPanicOnEmptyResults(t *testing.T) {
+	op := NewOperator("panicky",
+		nil,
+		func(pair Pair, results [][]KeyResult, emit Emit) {
+			// Classic bug: assuming every lookup succeeded.
+			emit(Pair{Key: results[0][0].Values[0], Value: pair.Key})
+		})
+	op.AddIndex(fakeAccessor{name: "ix"})
+	err := ValidateOperator(op, validateSamples())
+	if err == nil {
+		t.Fatal("postProcess indexing into empty results should be rejected")
+	}
+	if !strings.Contains(err.Error(), "empty results") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestValidateOperatorCatchesTooManyKeyLists(t *testing.T) {
+	op := NewOperator("overwide",
+		func(in Pair) PreResult {
+			return PreResult{Pair: in, Keys: [][]string{{"a"}, {"b"}, {"c"}}}
+		}, nil)
+	op.AddIndex(fakeAccessor{name: "ix"}) // one index, three key lists
+	if err := ValidateOperator(op, validateSamples()); err == nil {
+		t.Fatal("too many key lists should be rejected")
+	}
+}
+
+func TestValidateOperatorRejectsNoIndices(t *testing.T) {
+	if err := ValidateOperator(NewOperator("empty", nil, nil), validateSamples()); err == nil {
+		t.Fatal("operator without indices should be rejected")
+	}
+}

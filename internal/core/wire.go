@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// carrier is the record in flight through a re-partitioning shuffle: the
+// (possibly pre-processed) pair, the pending per-index key lists, and the
+// lookup results attached so far. Carriers are serialized into the shuffle
+// value with a length-prefixed encoding that is safe for arbitrary bytes.
+type carrier struct {
+	Pair    Pair
+	Keys    [][]string
+	Results [][]KeyResult
+}
+
+// size returns the carrier's encoded payload size in bytes without
+// building the encoding — the statistics layer uses it to measure the
+// paper's Spre and Sidx terms.
+func (c *carrier) size() int {
+	n := len(c.Pair.Key) + len(c.Pair.Value) + 8
+	for _, ks := range c.Keys {
+		for _, k := range ks {
+			n += len(k) + 4
+		}
+	}
+	for _, rs := range c.Results {
+		for _, kr := range rs {
+			n += len(kr.Key) + 4
+			for _, v := range kr.Values {
+				n += len(v) + 4
+			}
+		}
+	}
+	return n
+}
+
+// encodeCarrier serializes a carrier.
+func encodeCarrier(c *carrier) string {
+	var b strings.Builder
+	b.Grow(c.size() + 32)
+	writeStr(&b, c.Pair.Key)
+	writeStr(&b, c.Pair.Value)
+	writeInt(&b, len(c.Keys))
+	for _, ks := range c.Keys {
+		writeInt(&b, len(ks))
+		for _, k := range ks {
+			writeStr(&b, k)
+		}
+	}
+	writeInt(&b, len(c.Results))
+	for _, rs := range c.Results {
+		writeInt(&b, len(rs))
+		for _, kr := range rs {
+			writeStr(&b, kr.Key)
+			writeInt(&b, len(kr.Values))
+			for _, v := range kr.Values {
+				writeStr(&b, v)
+			}
+		}
+	}
+	return b.String()
+}
+
+// decodeCarrier parses a serialized carrier.
+func decodeCarrier(s string) (*carrier, error) {
+	d := &decoder{s: s}
+	c := &carrier{}
+	c.Pair.Key = d.str()
+	c.Pair.Value = d.str()
+	nk := d.num()
+	if d.err == nil && (nk < 0 || nk > 1<<20) {
+		return nil, fmt.Errorf("efind: corrupt carrier: %d key lists", nk)
+	}
+	c.Keys = make([][]string, 0, max(nk, 0))
+	for i := 0; i < nk && d.err == nil; i++ {
+		n := d.num()
+		var ks []string
+		for j := 0; j < n && d.err == nil; j++ {
+			ks = append(ks, d.str())
+		}
+		c.Keys = append(c.Keys, ks)
+	}
+	nr := d.num()
+	if d.err == nil && (nr < 0 || nr > 1<<20) {
+		return nil, fmt.Errorf("efind: corrupt carrier: %d result lists", nr)
+	}
+	c.Results = make([][]KeyResult, 0, max(nr, 0))
+	for i := 0; i < nr && d.err == nil; i++ {
+		n := d.num()
+		var rs []KeyResult
+		for j := 0; j < n && d.err == nil; j++ {
+			kr := KeyResult{Key: d.str()}
+			nv := d.num()
+			for v := 0; v < nv && d.err == nil; v++ {
+				kr.Values = append(kr.Values, d.str())
+			}
+			rs = append(rs, kr)
+		}
+		c.Results = append(c.Results, rs)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(d.s) {
+		return nil, fmt.Errorf("efind: corrupt carrier: %d trailing bytes", len(d.s)-d.pos)
+	}
+	return c, nil
+}
+
+func writeStr(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+func writeInt(b *strings.Builder, n int) {
+	b.WriteString(strconv.Itoa(n))
+	b.WriteByte(';')
+}
+
+type decoder struct {
+	s   string
+	pos int
+	err error
+}
+
+func (d *decoder) readLen(term byte) int {
+	if d.err != nil {
+		return 0
+	}
+	start := d.pos
+	for d.pos < len(d.s) && d.s[d.pos] != term {
+		d.pos++
+	}
+	if d.pos >= len(d.s) {
+		d.err = fmt.Errorf("efind: corrupt carrier: missing %q at %d", term, start)
+		return 0
+	}
+	n, err := strconv.Atoi(d.s[start:d.pos])
+	if err != nil || n < 0 {
+		d.err = fmt.Errorf("efind: corrupt carrier: bad length at %d", start)
+		return 0
+	}
+	d.pos++ // skip terminator
+	return n
+}
+
+func (d *decoder) str() string {
+	n := d.readLen(':')
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.s) {
+		d.err = fmt.Errorf("efind: corrupt carrier: string overruns input at %d", d.pos)
+		return ""
+	}
+	s := d.s[d.pos : d.pos+n]
+	d.pos += n
+	return s
+}
+
+func (d *decoder) num() int { return d.readLen(';') }
+
+// passKeyPrefix marks shuffle records that carry no lookup key for the
+// re-partitioned index (preProcess extracted zero keys): they flow through
+// the shuffle untouched. Real index keys must not start with this byte.
+const passKeyPrefix = "\x00p"
+
+// isPassKey reports whether a shuffle key marks a pass-through record.
+func isPassKey(k string) bool { return strings.HasPrefix(k, passKeyPrefix) }

@@ -1,0 +1,233 @@
+// Package dfs is an in-memory stand-in for HDFS: files are sequences of
+// replicated chunks with locality metadata. MapReduce input splits map
+// one-to-one onto chunks, and the scheduler uses chunk replica locations
+// for data-locality placement, exactly the information the paper's cost
+// model consumes (split locality and the f-per-byte materialization cost).
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"efind/internal/sim"
+)
+
+// Record is one key/value record stored in a file. The MapReduce layer
+// reads chunks record by record.
+type Record struct {
+	Key   string
+	Value string
+}
+
+// Size returns the payload size in bytes of the record (key + value plus a
+// small framing overhead, mirroring SequenceFile framing).
+func (r Record) Size() int { return len(r.Key) + len(r.Value) + 8 }
+
+// Chunk is one replicated block of a file.
+type Chunk struct {
+	Records  []Record
+	Bytes    int
+	Replicas []sim.NodeID
+	// Shard is the producing reducer/shard index for files written with
+	// CreateSharded, or -1 for directly created files. Large shards are
+	// split into several chunks that all carry the same Shard, so
+	// downstream jobs regain full map parallelism while shard-affine
+	// placement (index locality) still works.
+	Shard int
+}
+
+// File is an immutable, chunked, replicated file.
+type File struct {
+	Name   string
+	Chunks []*Chunk
+}
+
+// Bytes returns the total payload size of the file.
+func (f *File) Bytes() int {
+	total := 0
+	for _, c := range f.Chunks {
+		total += c.Bytes
+	}
+	return total
+}
+
+// Records returns the total record count of the file.
+func (f *File) Records() int {
+	total := 0
+	for _, c := range f.Chunks {
+		total += len(c.Records)
+	}
+	return total
+}
+
+// All returns every record of the file in chunk order. Intended for tests
+// and result collection, not for the data path.
+func (f *File) All() []Record {
+	out := make([]Record, 0, f.Records())
+	for _, c := range f.Chunks {
+		out = append(out, c.Records...)
+	}
+	return out
+}
+
+// FS is the namespace: a set of named files plus the cluster whose nodes
+// hold replicas.
+type FS struct {
+	mu      sync.Mutex
+	cluster *sim.Cluster
+	files   map[string]*File
+	// ChunkTarget is the split size in bytes (HDFS default 64 MB; tests and
+	// experiments usually shrink it so jobs have multiple waves).
+	ChunkTarget int
+	// Replication is the replica count per chunk (HDFS default 3).
+	Replication int
+}
+
+// New creates an empty file system on the cluster with the paper's
+// defaults: 64 MB chunks, 3 replicas.
+func New(cluster *sim.Cluster) *FS {
+	return &FS{
+		cluster:     cluster,
+		files:       make(map[string]*File),
+		ChunkTarget: 64 << 20,
+		Replication: 3,
+	}
+}
+
+// Cluster returns the cluster this file system is placed on.
+func (fs *FS) Cluster() *sim.Cluster { return fs.cluster }
+
+// Create writes a new file from records, splitting into chunks of about
+// ChunkTarget bytes and placing Replication replicas per chunk. It returns
+// an error if the name already exists.
+func (fs *FS) Create(name string, records []Record) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	f := &File{Name: name}
+	cur := &Chunk{Shard: -1}
+	flush := func() {
+		if len(cur.Records) == 0 {
+			return
+		}
+		cur.Replicas = fs.cluster.PlaceReplicas(fs.Replication)
+		f.Chunks = append(f.Chunks, cur)
+		cur = &Chunk{Shard: -1}
+	}
+	for _, r := range records {
+		cur.Records = append(cur.Records, r)
+		cur.Bytes += r.Size()
+		if cur.Bytes >= fs.ChunkTarget {
+			flush()
+		}
+	}
+	flush()
+	if len(f.Chunks) == 0 {
+		// An empty file still has one (empty) chunk so jobs over it run a
+		// well-defined zero-record map task.
+		f.Chunks = []*Chunk{{Shard: -1, Replicas: fs.cluster.PlaceReplicas(fs.Replication)}}
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// CreateSharded writes a file whose chunks are exactly the given shards
+// (one chunk per shard), used by reducers that each materialize their own
+// output partition on the node where they ran.
+func (fs *FS) CreateSharded(name string, shards [][]Record, homes []sim.NodeID) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if len(homes) != len(shards) {
+		return nil, fmt.Errorf("dfs: %d shards but %d home nodes", len(shards), len(homes))
+	}
+	f := &File{Name: name}
+	for i, recs := range shards {
+		if len(recs) == 0 {
+			continue
+		}
+		// First replica on the writer's node (HDFS write pipeline), the
+		// rest placed by the cluster. Oversized shards split into several
+		// chunks so following jobs keep full map-side parallelism, as
+		// HDFS splits any file larger than a block.
+		replicas := append([]sim.NodeID{homes[i]}, otherNodes(fs.cluster, homes[i], fs.Replication-1)...)
+		cur := &Chunk{Shard: i, Replicas: replicas}
+		for _, r := range recs {
+			cur.Records = append(cur.Records, r)
+			cur.Bytes += r.Size()
+			if cur.Bytes >= fs.ChunkTarget {
+				f.Chunks = append(f.Chunks, cur)
+				cur = &Chunk{Shard: i, Replicas: replicas}
+			}
+		}
+		if len(cur.Records) > 0 {
+			f.Chunks = append(f.Chunks, cur)
+		}
+	}
+	if len(f.Chunks) == 0 {
+		f.Chunks = []*Chunk{{Shard: -1, Replicas: fs.cluster.PlaceReplicas(fs.Replication)}}
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+func otherNodes(c *sim.Cluster, home sim.NodeID, n int) []sim.NodeID {
+	out := make([]sim.NodeID, 0, n)
+	for i := 1; len(out) < n && i < c.Nodes(); i++ {
+		cand := sim.NodeID((int(home) + i) % c.Nodes())
+		out = append(out, cand)
+	}
+	return out
+}
+
+// Open returns the named file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	return f, nil
+}
+
+// Remove deletes the named file; removing a missing file is an error.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("dfs: file %q does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the file names in the namespace, sorted.
+func (fs *FS) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TempName returns a fresh name under the given prefix that does not
+// collide with existing files.
+func (fs *FS) TempName(prefix string) string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s-%04d", prefix, i)
+		if _, ok := fs.files[name]; !ok {
+			return name
+		}
+	}
+}

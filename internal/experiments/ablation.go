@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"efind/internal/core"
+	"efind/internal/sketch"
+)
+
+// AblationCacheCapacity sweeps the lookup-cache capacity (the paper fixes
+// 1024 entries and leaves the sweep to future work): the synthetic join,
+// whose uniform-random keys make the miss ratio a direct function of
+// capacity vs key-domain size.
+func AblationCacheCapacity(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: lookup-cache capacity (synthetic join, cache strategy)",
+		Columns: []string{"runtime", "missRatio"},
+	}
+	for _, capacity := range []int{64, 256, 1024, 4096, 16384} {
+		vt, miss, err := runSynWithCache(scale, capacity)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("cap=%d", capacity), vt, miss)
+	}
+	return t, nil
+}
+
+func runSynWithCache(scale Scale, capacity int) (float64, float64, error) {
+	l := newLab()
+	cfg := synScaleConfig(scale, 1024)
+	l.fs.ChunkTarget = chunkTargetFor(scale.SynRecords * (cfg.ValueSize + 30))
+	input, store, err := generateSyn(l, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	conf := buildSynConf(fmt.Sprintf("syn-cap%d", capacity), input, store, core.ModeCache)
+	conf.CacheCapacity = capacity
+	res, err := l.rt.Submit(conf)
+	if err != nil {
+		return 0, 0, err
+	}
+	probes := res.Counters["efind.syn.ix."+store.Name()+".cache.probes"]
+	misses := res.Counters["efind.syn.ix."+store.Name()+".cache.misses"]
+	miss := 1.0
+	if probes > 0 {
+		miss = float64(misses) / float64(probes)
+	}
+	return res.VTime, miss, nil
+}
+
+// AblationVarianceThreshold sweeps Algorithm 1's variance gate on the LOG
+// application: tight thresholds refuse to replan, loose ones replan from
+// shaky statistics.
+func AblationVarianceThreshold(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: variance threshold for re-optimization (LOG, dynamic)",
+		Columns: []string{"runtime", "replanned"},
+	}
+	for _, th := range []float64{0.001, 0.05, 0.2, 1.0} {
+		l := newLab()
+		l.fs.ChunkTarget = chunkTargetFor(scale.LogEvents * 90)
+		input, geo, err := setupLog(l, logScaleConfig(scale), 2)
+		if err != nil {
+			return nil, err
+		}
+		conf := logJobConf(fmt.Sprintf("log-th%g", th), input, geo, core.ModeDynamic)
+		conf.VarianceThreshold = th
+		res, err := l.rt.Submit(conf)
+		if err != nil {
+			return nil, err
+		}
+		replanned := 0.0
+		if res.Replanned {
+			replanned = 1
+		}
+		t.Add(fmt.Sprintf("threshold=%g", th), res.VTime, replanned)
+	}
+	return t, nil
+}
+
+// AblationReplanDisabled compares the dynamic runtime with replanning
+// allowed (the paper's at-most-once) against the same runtime with the
+// plan change disabled — isolating the value of the mid-job switch.
+func AblationReplanDisabled(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: plan change at most once vs disabled (LOG, dynamic, +2ms)",
+		Columns: []string{"runtime", "replanned"},
+	}
+	for _, disable := range []bool{false, true} {
+		l := newLab()
+		l.fs.ChunkTarget = chunkTargetFor(scale.LogEvents * 90)
+		input, geo, err := setupLog(l, logScaleConfig(scale), 2)
+		if err != nil {
+			return nil, err
+		}
+		conf := logJobConf("log-replan", input, geo, core.ModeDynamic)
+		label := "replan=once"
+		if disable {
+			conf.MaxPlanChanges = -1
+			label = "replan=never"
+		}
+		res, err := l.rt.Submit(conf)
+		if err != nil {
+			return nil, err
+		}
+		replanned := 0.0
+		if res.Replanned {
+			replanned = 1
+		}
+		t.Add(label, res.VTime, replanned)
+	}
+	return t, nil
+}
+
+// AblationPlanner compares FullEnumerate with k-Repart on synthetic
+// operator statistics over m independent indices: plan cost achieved and
+// planning time (§3.5's tradeoff).
+func AblationPlanner(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: FullEnumerate vs k-Repart (m=6 indices, modeled cost and plan time)",
+		Columns: []string{"planCost", "planMicros"},
+	}
+	env := core.Env{BW: 125e6, F: 2.5e-8, Tcache: 1e-6, Nodes: 12}
+	op := core.NewOperator("m6", nil, nil)
+	st := &core.OperatorStats{
+		N1: 1e5, Records: 12e5, S1: 120, Spre: 80, Sidx: 400, Spost: 150, Smap: 150,
+		Index: map[string]core.IndexStats{},
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("ix%d", i)
+		op.AddIndex(fakeIdx{name: name})
+		st.Index[name] = core.IndexStats{
+			Nik: 1, Sik: 16, Siv: float64(50 * (i + 1)),
+			Tj: 0.0002 * float64(i+1), Theta: float64(1 + i*i), R: 0.9,
+		}
+	}
+	cases := []struct {
+		label string
+		opts  core.PlannerOptions
+	}{
+		{"full-enumerate", core.PlannerOptions{FullEnumerateLimit: 6, KRepart: 2}},
+		{"1-repart", core.PlannerOptions{FullEnumerateLimit: 1, KRepart: 1}},
+		{"2-repart", core.PlannerOptions{FullEnumerateLimit: 1, KRepart: 2}},
+	}
+	for _, cse := range cases {
+		start := time.Now()
+		p := core.OptimizeOperator(op, core.BodyOp, st, env, cse.opts)
+		elapsed := time.Since(start)
+		t.Add(cse.label, p.Cost, float64(elapsed.Microseconds()))
+		t.Note("%s picked: %v", cse.label, p)
+	}
+	return t, nil
+}
+
+// AblationFMAccuracy measures the Flajolet–Martin Θ-estimation error
+// against exact distinct counts across cardinalities.
+func AblationFMAccuracy(Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: FM sketch distinct-count estimate vs exact",
+		Columns: []string{"exact", "estimated", "ratio"},
+	}
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		fm := sketch.New(64)
+		for i := 0; i < n; i++ {
+			fm.Add(fmt.Sprintf("key-%d", i))
+		}
+		est := fm.Estimate()
+		t.Add(fmt.Sprintf("n=%d", n), float64(n), est, est/float64(n))
+	}
+	return t, nil
+}
+
+// AblationBoundary forces each re-partitioning boundary on TPC-H Q3's
+// Orders index (the S_min choice of §3.3).
+func AblationBoundary(scale Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Ablation: re-partitioning job boundary (TPC-H Q3, Orders index)",
+		Columns: []string{"runtime"},
+	}
+	for _, b := range []core.Boundary{core.BoundaryPre, core.BoundaryIdx, core.BoundaryLate} {
+		vt, err := runQ3Boundary(scale, b)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("boundary="+b.String(), vt)
+	}
+	return t, nil
+}
+
+func runQ3Boundary(scale Scale, b core.Boundary) (float64, error) {
+	l := newLab()
+	cfg := tpchScaleConfig(scale, 1)
+	l.fs.ChunkTarget = chunkTargetFor(int(6000*scale.TPCHSF) * 60)
+	w, err := tpchSetup(l, cfg)
+	if err != nil {
+		return 0, err
+	}
+	conf := w.Q3Conf("q3-boundary-"+b.String(), core.ModeCustom)
+	op, ix := w.Q3RepartTarget()
+	conf.ForceStrategy(op, ix, core.Repartition)
+	conf.ForceBoundary(op, ix, b)
+	res, err := l.rt.Submit(conf)
+	if err != nil {
+		return 0, err
+	}
+	return res.VTime, nil
+}

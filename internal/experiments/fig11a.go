@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"efind/internal/cloudsvc"
+	"efind/internal/core"
+	"efind/internal/dfs"
+	"efind/internal/mapreduce"
+	"efind/internal/workloads"
+)
+
+// geoBaseDelay is the paper's measured cloud-service latency (0.8 ms per
+// IP-to-region lookup).
+const geoBaseDelay = 0.0008
+
+// logTopK is the k of the LOG application's top-k frequent URLs.
+const logTopK = 10
+
+// logJobConf builds the LOG application of §5.1: look up each event's
+// source IP in the cloud geo service (head operator), then count URL
+// visits per (region, URL) pair.
+func logJobConf(name string, input *dfs.File, geo *cloudsvc.Service, mode core.Mode) *core.IndexJobConf {
+	geoOp := core.NewOperator("geo",
+		func(in core.Pair) core.PreResult {
+			ip, _, _, ok := workloads.ParseLogValue(in.Value)
+			if !ok {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{ip}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			region := "unknown"
+			if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+				region = results[0][0].Values[0]
+			}
+			emit(core.Pair{Key: pair.Key, Value: region + "\x00" + pair.Value})
+		})
+	geoOp.AddIndex(geo)
+
+	conf := &core.IndexJobConf{
+		Name:  name,
+		Input: input,
+		Mode:  mode,
+		Mapper: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			parts := strings.SplitN(in.Value, "\x00", 2)
+			if len(parts) != 2 {
+				return
+			}
+			_, url, _, ok := workloads.ParseLogValue(parts[1])
+			if !ok {
+				return
+			}
+			emit(core.Pair{Key: parts[0] + "|" + url, Value: "1"})
+		},
+		Reducer:  sumCounts,
+		Combiner: sumCounts, // pre-aggregate visit counts before the shuffle
+	}
+	conf.AddHeadIndexOperator(geoOp)
+	return conf
+}
+
+// sumCounts aggregates integer visit counts; associative and commutative,
+// so it serves as both the reducer and the combiner.
+func sumCounts(_ *mapreduce.TaskContext, key string, values []string, emit core.Emit) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	emit(core.Pair{Key: key, Value: strconv.Itoa(total)})
+}
+
+// topKJob is the follow-on plain MapReduce job of the LOG application:
+// per-region top-k URLs. Identical across strategies; included so the
+// reported times cover the whole application.
+func topKJob(engine *mapreduce.Engine, input *dfs.File) (*mapreduce.Result, error) {
+	return engine.Run(&mapreduce.Job{
+		Name:  "log-topk",
+		Input: input,
+		Map: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			f := strings.SplitN(in.Key, "|", 2)
+			if len(f) != 2 {
+				return
+			}
+			emit(core.Pair{Key: f[0], Value: f[1] + "=" + in.Value})
+		},
+		NumReduce: 8,
+		Reduce: func(_ *mapreduce.TaskContext, region string, values []string, emit core.Emit) {
+			type uc struct {
+				url   string
+				count int
+			}
+			list := make([]uc, 0, len(values))
+			for _, v := range values {
+				i := strings.LastIndexByte(v, '=')
+				if i < 0 {
+					continue
+				}
+				n, err := strconv.Atoi(v[i+1:])
+				if err != nil {
+					continue
+				}
+				list = append(list, uc{url: v[:i], count: n})
+			}
+			sort.Slice(list, func(i, j int) bool {
+				if list[i].count != list[j].count {
+					return list[i].count > list[j].count
+				}
+				return list[i].url < list[j].url
+			})
+			if len(list) > logTopK {
+				list = list[:logTopK]
+			}
+			out := make([]string, 0, len(list))
+			for _, e := range list {
+				out = append(out, fmt.Sprintf("%s:%d", e.url, e.count))
+			}
+			emit(core.Pair{Key: region, Value: strings.Join(out, ",")})
+		},
+	})
+}
+
+// runLogOnce executes the LOG application end to end in a fresh lab and
+// returns its total virtual time and the final top-k output.
+func runLogOnce(scale Scale, extraDelayMs float64, column string) (float64, *dfs.File, *core.JobResult, error) {
+	l := newLab()
+	if scale.FixedLogChunk > 0 {
+		l.fs.ChunkTarget = scale.FixedLogChunk
+	} else {
+		l.fs.ChunkTarget = chunkTargetFor(scale.LogEvents * 90)
+	}
+	input, geo, err := setupLog(l, logScaleConfig(scale), extraDelayMs)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+
+	if column == "optimized" {
+		statsConf := logJobConf("log-stats", input, geo, core.ModeBaseline)
+		if err := l.rt.CollectStats(statsConf); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	conf := logJobConf("log-"+column, input, geo, core.ModeBaseline)
+	res, err := submitMode(l.rt, conf, column, "geo", geo.Name())
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	topk, err := topKJob(l.engine, res.Output)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return res.VTime + topk.VTime, topk.Output, res, nil
+}
+
+// chunkTargetFor sizes chunks so a workload of roughly totalBytes spans
+// ~2.5 waves of map tasks on the 12×8-slot cluster.
+func chunkTargetFor(totalBytes int) int {
+	const targetChunks = 240
+	t := totalBytes / targetChunks
+	if t < 2048 {
+		t = 2048
+	}
+	return t
+}
+
+// Fig11a reproduces Figure 11(a): the LOG application under extra lookup
+// delays of 0–5 ms, for every applicable strategy. Index locality does
+// not apply (the cloud service is a single external node), mirroring the
+// paper.
+func Fig11a(scale Scale) (*Table, error) {
+	cols := []string{"base", "cache", "repart", "optimized", "dynamic"}
+	t := &Table{Title: "Figure 11(a): LOG — runtime (virtual s) vs extra lookup delay", Columns: cols}
+	for _, d := range scale.LogDelaysMs {
+		row := make([]float64, 0, len(cols))
+		for _, c := range cols {
+			vt, _, res, err := runLogOnce(scale, d, c)
+			if err != nil {
+				return nil, fmt.Errorf("fig11a %s delay %gms: %w", c, d, err)
+			}
+			row = append(row, vt)
+			if c == "dynamic" && res.Replanned {
+				t.Note("delay %gms: dynamic replanned at %s phase to %v", d, res.ReplanPhase, res.Plan)
+			}
+			if c == "optimized" {
+				t.Note("delay %gms: optimized plan %v", d, res.Plan)
+			}
+		}
+		t.Add(fmt.Sprintf("delay=%gms", d), row...)
+	}
+	return t, nil
+}

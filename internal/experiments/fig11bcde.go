@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"efind/internal/core"
+	"efind/internal/tpch"
+)
+
+// tpchQuery selects Q3 or Q9.
+type tpchQuery int
+
+const (
+	queryQ3 tpchQuery = iota
+	queryQ9
+)
+
+// runTPCHOnce executes one TPC-H query under one strategy in a fresh lab.
+func runTPCHOnce(scale Scale, q tpchQuery, dup int, column string) (float64, *core.JobResult, int64, error) {
+	l := newLab()
+	cfg := tpch.DefaultConfig()
+	cfg.ScaleFactor = scale.TPCHSF
+	cfg.SupplierScale = scale.TPCHSupplierScale
+	cfg.DupFactor = dup
+	l.fs.ChunkTarget = chunkTargetFor(int(6000*scale.TPCHSF) * dup * 60)
+	w, err := tpch.Setup(l.fs, "lineitem", cfg)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+
+	build := func(name string) (*core.IndexJobConf, string, string) {
+		if q == queryQ3 {
+			conf := w.Q3Conf(name, core.ModeBaseline)
+			op, ix := w.Q3RepartTarget()
+			return conf, op, ix
+		}
+		conf := w.Q9Conf(name, core.ModeBaseline)
+		op, ix := w.Q9RepartTarget()
+		return conf, op, ix
+	}
+
+	// The paper's cache holds 1024 entries against SF10 dictionaries of
+	// 10^5–10^7 distinct keys; at simulation scale the capacity is scaled
+	// with the data so the capacity:distinct-keys ratios (the drivers of
+	// the miss ratio R) are preserved.
+	const cacheCapacity = 64
+
+	if column == "optimized" {
+		statsConf, _, _ := build("tpch-stats")
+		statsConf.CacheCapacity = cacheCapacity
+		if err := l.rt.CollectStats(statsConf); err != nil {
+			return 0, nil, 0, err
+		}
+	}
+	w.ResetIndexStats()
+	conf, op, ix := build("tpch-" + column)
+	conf.CacheCapacity = cacheCapacity
+	res, err := submitMode(l.rt, conf, column, op, ix)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return res.VTime, res, w.TotalLookups(), nil
+}
+
+// fig11TPCH runs one query's full strategy row.
+func fig11TPCH(title string, scale Scale, q tpchQuery, dup int) (*Table, error) {
+	t := &Table{Title: title, Columns: strategyColumns}
+	row := make([]float64, 0, len(strategyColumns))
+	for _, c := range strategyColumns {
+		vt, res, lookups, err := runTPCHOnce(scale, q, dup, c)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", title, c, err)
+		}
+		row = append(row, vt)
+		t.Note("%s: %d jobs, %d index lookups%s", c, res.JobsRun, lookups, replanNote(res))
+		if c == "optimized" {
+			t.Note("optimized plan: %v", res.Plan)
+		}
+	}
+	t.Add("runtime", row...)
+	return t, nil
+}
+
+func replanNote(res *core.JobResult) string {
+	if !res.Replanned {
+		return ""
+	}
+	return fmt.Sprintf(", replanned at %s phase", res.ReplanPhase)
+}
+
+// Fig11b reproduces Figure 11(b): TPC-H Q3 across strategies.
+func Fig11b(scale Scale) (*Table, error) {
+	return fig11TPCH("Figure 11(b): TPC-H Q3 — runtime (virtual s)", scale, queryQ3, 1)
+}
+
+// Fig11c reproduces Figure 11(c): TPC-H Q9 across strategies.
+func Fig11c(scale Scale) (*Table, error) {
+	return fig11TPCH("Figure 11(c): TPC-H Q9 — runtime (virtual s)", scale, queryQ9, 1)
+}
+
+// Fig11d reproduces Figure 11(d): TPC-H DUP10 Q3.
+func Fig11d(scale Scale) (*Table, error) {
+	return fig11TPCH("Figure 11(d): TPC-H DUP10 Q3 — runtime (virtual s)", scale, queryQ3, 10)
+}
+
+// Fig11e reproduces Figure 11(e): TPC-H DUP10 Q9.
+func Fig11e(scale Scale) (*Table, error) {
+	return fig11TPCH("Figure 11(e): TPC-H DUP10 Q9 — runtime (virtual s)", scale, queryQ9, 10)
+}

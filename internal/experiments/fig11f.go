@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"efind/internal/core"
+	"efind/internal/dfs"
+	"efind/internal/kvstore"
+	"efind/internal/mapreduce"
+	"efind/internal/workloads"
+)
+
+// synScaleConfig derives the synthetic generator config from a scale and
+// an index value size l.
+func synScaleConfig(scale Scale, l int) workloads.SyntheticConfig {
+	cfg := workloads.DefaultSyntheticConfig()
+	cfg.Records = scale.SynRecords
+	cfg.KeyDomain = scale.SynKeyDomain
+	cfg.IndexValueSize = l
+	cfg.ValueSize = 256
+	return cfg
+}
+
+// generateSyn writes the synthetic input and index into the lab.
+func generateSyn(l *lab, cfg workloads.SyntheticConfig) (*dfs.File, *kvstore.Store, error) {
+	return workloads.GenerateSynthetic(l.fs, "syn", cfg)
+}
+
+// buildSynConf composes the synthetic join of §5.1 as an EFind job: look
+// up every record's key in the index, attach the l-sized value, group by
+// record key.
+func buildSynConf(name string, input *dfs.File, store *kvstore.Store, mode core.Mode) *core.IndexJobConf {
+	op := core.NewOperator("syn",
+		func(in core.Pair) core.PreResult {
+			return core.PreResult{Pair: in, Keys: [][]string{{workloads.SyntheticKey(in.Value)}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			joined := ""
+			if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+				joined = results[0][0].Values[0]
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "\x00" + joined})
+		})
+	op.AddIndex(store)
+	conf := &core.IndexJobConf{
+		Name:  name,
+		Input: input,
+		Mode:  mode,
+		Mapper: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			emit(in)
+		},
+		Reducer: mapreduce.IdentityReduce,
+	}
+	conf.AddHeadIndexOperator(op)
+	return conf
+}
+
+// runSynOnce executes the synthetic join for one index value size l under
+// one strategy in a fresh lab.
+func runSynOnce(scale Scale, l int, column string) (float64, *core.JobResult, error) {
+	env := newLab()
+	cfg := synScaleConfig(scale, l)
+	env.fs.ChunkTarget = chunkTargetFor(scale.SynRecords * (cfg.ValueSize + 30))
+	input, store, err := generateSyn(env, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	if column == "optimized" {
+		if err := env.rt.CollectStats(buildSynConf("syn-stats", input, store, core.ModeBaseline)); err != nil {
+			return 0, nil, err
+		}
+	}
+	conf := buildSynConf("syn-"+column, input, store, core.ModeBaseline)
+	res, err := submitMode(env.rt, conf, column, "syn", store.Name())
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.VTime, res, nil
+}
+
+// Fig11f reproduces Figure 11(f): the synthetic join across strategies
+// while the index lookup result size l sweeps from 10 B to 30 KB.
+func Fig11f(scale Scale) (*Table, error) {
+	t := &Table{Title: "Figure 11(f): Synthetic — runtime (virtual s) vs index value size l", Columns: strategyColumns}
+	for _, l := range scale.SynSizes {
+		row := make([]float64, 0, len(strategyColumns))
+		for _, c := range strategyColumns {
+			vt, res, err := runSynOnce(scale, l, c)
+			if err != nil {
+				return nil, fmt.Errorf("fig11f l=%d %s: %w", l, c, err)
+			}
+			row = append(row, vt)
+			if c == "optimized" {
+				t.Note("l=%dB optimized plan: %v", l, res.Plan)
+			}
+		}
+		t.Add(fmt.Sprintf("l=%dB", l), row...)
+	}
+	return t, nil
+}

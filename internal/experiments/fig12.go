@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efind/internal/kvstore"
+)
+
+// Fig12 reproduces Figure 12: the elapsed time of a local vs remote index
+// lookup as the result size grows from 10 B to 30 KB. The latencies are
+// exactly what the runtime charges per lookup: the index serve time T_j,
+// plus the network transfer of key and result when the task node does not
+// host the key's partition.
+func Fig12(scale Scale) (*Table, error) {
+	l := newLab()
+	cfg := l.cluster.Config()
+	sizes := scale.SynSizes
+	t := &Table{
+		Title:   "Figure 12: index lookup latency (virtual ms) vs result size",
+		Columns: []string{"local", "remote"},
+	}
+	for _, size := range sizes {
+		store := kvstore.NewHash(l.cluster, fmt.Sprintf("lat-%d", size), 32, 3, 0.0002)
+		key := "probe-key"
+		store.Put(key, strings.Repeat("v", size))
+		vals, err := store.Lookup(key)
+		if err != nil {
+			return nil, err
+		}
+		bytes := float64(len(key) + 4)
+		for _, v := range vals {
+			bytes += float64(len(v) + 4)
+		}
+		local := store.ServeTime()
+		remote := store.ServeTime() + bytes/cfg.NetBandwidth
+		t.Add(fmt.Sprintf("%dB", size), local*1000, remote*1000)
+	}
+	return t, nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"efind/internal/core"
+	"efind/internal/knnj"
+	"efind/internal/workloads"
+)
+
+// Fig13 reproduces Figure 13: k-nearest-neighbour join between two point
+// sets, comparing the hand-tuned H-zkNNJ implementation against the
+// EFind-based index nested-loop join under every strategy. The paper's
+// claim: the effortless EFind version with the optimal strategy (index
+// locality) performs like the hand-tuned two-phase join.
+func Fig13(scale Scale) (*Table, error) {
+	cols := append([]string{"h-zknnj"}, strategyColumns...)
+	t := &Table{Title: "Figure 13: kNN join (k=10) — runtime (virtual s)", Columns: cols}
+
+	genA := workloads.SpatialConfig{Points: scale.SpatialA, Extent: 1000, Clusters: 16, Seed: 21}
+	genB := workloads.SpatialConfig{Points: scale.SpatialB, Extent: 1000, Clusters: 16, Seed: 22}
+	a := workloads.GenerateSpatialPoints(genA)
+	b := relabel(workloads.GenerateSpatialPoints(genB), "b")
+	exact := knnj.BruteForceKNN(a, b, scale.KNNK)
+
+	row := make([]float64, 0, len(cols))
+
+	// Hand-tuned comparator.
+	{
+		l := newLab()
+		l.fs.ChunkTarget = chunkTargetFor((scale.SpatialA + scale.SpatialB) * 40)
+		hzCfg := knnj.DefaultHZConfig(scale.KNNK)
+		hzCfg.Epsilon = 0.02
+		res, err := knnj.RunHZKNNJ(l.engine, a, b, 1000, hzCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 h-zknnj: %w", err)
+		}
+		row = append(row, res.VTime)
+		t.Note("h-zknnj: %d jobs, recall %.3f", res.Jobs, knnj.Recall(res.Join, exact))
+	}
+
+	// EFind strategies.
+	for _, c := range strategyColumns {
+		l := newLab()
+		l.fs.ChunkTarget = chunkTargetFor(scale.SpatialA * 40)
+		idxCfg := knnj.DefaultSpatialIndexConfig(1000)
+		idxCfg.K = scale.KNNK
+		idx, err := knnj.BuildSpatialIndex(l.cluster, "spatial", b, idxCfg)
+		if err != nil {
+			return nil, err
+		}
+		input, err := workloads.WriteSpatial(l.fs, "a-points", a)
+		if err != nil {
+			return nil, err
+		}
+		if c == "optimized" {
+			if err := l.rt.CollectStats(knnj.EFindConf("knn-stats", input, idx, core.ModeBaseline)); err != nil {
+				return nil, err
+			}
+		}
+		conf := knnj.EFindConf("knn-"+c, input, idx, core.ModeBaseline)
+		res, err := submitMode(l.rt, conf, c, "knn", idx.Name())
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s: %w", c, err)
+		}
+		row = append(row, res.VTime)
+		join := knnj.CollectJoin(res.Output)
+		t.Note("%s: recall %.3f%s", c, knnj.Recall(join, exact), replanNote(res))
+		if c == "optimized" {
+			t.Note("optimized plan: %v", res.Plan)
+		}
+	}
+	t.Add("knnj", row...)
+	return t, nil
+}
+
+// relabel gives a generated point set a distinct ID prefix.
+func relabel(pts []workloads.SpatialPoint, prefix string) []workloads.SpatialPoint {
+	for i := range pts {
+		pts[i].ID = fmt.Sprintf("%s%07d", prefix, i)
+	}
+	return pts
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"efind/internal/cloudsvc"
+	"efind/internal/dfs"
+	"efind/internal/sim"
+	"efind/internal/tpch"
+	"efind/internal/workloads"
+)
+
+// logScaleConfig derives the LOG generator config from a scale.
+func logScaleConfig(scale Scale) workloads.LogConfig {
+	cfg := workloads.DefaultLogConfig()
+	cfg.Events = scale.LogEvents
+	return cfg
+}
+
+// setupLog generates the LOG input in the lab and stands up the cloud geo
+// service with the given extra delay (milliseconds).
+func setupLog(l *lab, cfg workloads.LogConfig, extraDelayMs float64) (*dfs.File, *cloudsvc.Service, error) {
+	input, err := workloads.GenerateLog(l.fs, "log", cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	geo := cloudsvc.NewGeoService(0, geoBaseDelay+extraDelayMs/1000, 50)
+	return input, geo, nil
+}
+
+// tpchScaleConfig derives the TPC-H generator config from a scale.
+func tpchScaleConfig(scale Scale, dup int) tpch.Config {
+	cfg := tpch.DefaultConfig()
+	cfg.ScaleFactor = scale.TPCHSF
+	cfg.SupplierScale = scale.TPCHSupplierScale
+	cfg.DupFactor = dup
+	return cfg
+}
+
+// tpchSetup generates the TPC-H workload in the lab.
+func tpchSetup(l *lab, cfg tpch.Config) (*tpch.Workload, error) {
+	return tpch.Setup(l.fs, "lineitem", cfg)
+}
+
+// fakeIdx is a stats-only accessor used by planner ablations (never
+// actually looked up).
+type fakeIdx struct{ name string }
+
+func (f fakeIdx) Name() string                      { return f.name }
+func (f fakeIdx) Lookup(k string) ([]string, error) { return nil, nil }
+func (f fakeIdx) ServeTime() float64                { return 0 }
+func (f fakeIdx) HostsFor(string) []sim.NodeID      { return nil }

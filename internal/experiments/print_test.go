@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPrintAll is an inspection helper: run with -run TestPrintAll -v
+// -print-tables to dump every experiment's table at quick scale.
+func TestPrintAll(t *testing.T) {
+	if os.Getenv("EFIND_PRINT_TABLES") == "" {
+		t.Skip("set EFIND_PRINT_TABLES=1 to dump all tables")
+	}
+	for _, e := range All() {
+		tbl, err := e.Run(QuickScale())
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		tbl.Print(os.Stdout)
+	}
+}

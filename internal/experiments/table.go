@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated cluster: Figure 11(a)–(f) strategy
+// comparisons over LOG, TPC-H Q3/Q9 (±DUP10) and the synthetic l-sweep,
+// Figure 12's lookup latency curves, Figure 13's kNN join comparison
+// against H-zkNNJ, and the ablations DESIGN.md calls out. Results are
+// virtual times from the calibrated cost model; the claims under test are
+// the relative shapes (who wins, by what factor, where the crossovers
+// fall), not absolute seconds.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result: labeled rows of named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Notes records per-run observations (chosen plans, recall, replans).
+	Notes []string
+}
+
+// Row is one parameter setting's measurements.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(label string, cells ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// Note appends an observation.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Cell returns the value at (rowLabel, column), or NaN-free -1 when absent.
+func (t *Table) Cell(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Cells) {
+			return r.Cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// Print renders the table in aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	width := 14
+	fmt.Fprintf(w, "%-22s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%*s", width, c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-22s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(w, "%*.3f", width, v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 22+width*len(t.Columns)))
+}
+
+// Scale sizes an experiment run. Quick keeps unit tests and -bench runs
+// fast; Full is the cmd/efind-bench default and stresses multiple task
+// waves per phase.
+type Scale struct {
+	LogEvents   int
+	LogDelaysMs []float64
+	// FixedLogChunk, when non-zero, pins the LOG input's chunk size
+	// instead of scaling it with the event count — so larger inputs run
+	// more task waves, as with HDFS's fixed 64 MB blocks. Used by the
+	// dynamic-convergence ablation.
+	FixedLogChunk     int
+	TPCHSF            float64
+	TPCHSupplierScale int
+	SynRecords        int
+	SynKeyDomain      int
+	SynSizes          []int
+	SpatialA          int
+	SpatialB          int
+	KNNK              int
+}
+
+// QuickScale is used by tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		LogEvents:         20000,
+		LogDelaysMs:       []float64{0, 1, 3, 5},
+		TPCHSF:            1,
+		TPCHSupplierScale: 75,
+		SynRecords:        8000,
+		SynKeyDomain:      4000,
+		SynSizes:          []int{10, 1024, 30720},
+		SpatialA:          1500,
+		SpatialB:          6000,
+		KNNK:              10,
+	}
+}
+
+// FullScale mirrors the paper's relative sizes at simulation scale.
+func FullScale() Scale {
+	return Scale{
+		LogEvents:         150000,
+		LogDelaysMs:       []float64{0, 1, 2, 3, 4, 5},
+		TPCHSF:            4,
+		TPCHSupplierScale: 75,
+		SynRecords:        50000,
+		SynKeyDomain:      25000,
+		SynSizes:          []int{10, 100, 1024, 10240, 30720},
+		SpatialA:          6000,
+		SpatialB:          20000,
+		KNNK:              10,
+	}
+}

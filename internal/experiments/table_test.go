@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablePrintLayout(t *testing.T) {
+	tbl := &Table{Title: "demo table", Columns: []string{"colA", "colB"}}
+	tbl.Add("row-one", 1.25, 2.5)
+	tbl.Add("row-two", 3, 4)
+	tbl.Note("something %d", 42)
+	var b strings.Builder
+	tbl.Print(&b)
+	out := b.String()
+	for _, want := range []string{"demo table", "colA", "colB", "row-one", "1.250", "note: something 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed table missing %q:\n%s", want, out)
+		}
+	}
+	// Every row line has the same column alignment width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestTableCellLookup(t *testing.T) {
+	tbl := &Table{Columns: []string{"x"}}
+	tbl.Add("r", 7)
+	if v, ok := tbl.Cell("r", "x"); !ok || v != 7 {
+		t.Fatalf("cell = %v %v", v, ok)
+	}
+	if _, ok := tbl.Cell("r", "y"); ok {
+		t.Fatal("unknown column resolved")
+	}
+	if _, ok := tbl.Cell("z", "x"); ok {
+		t.Fatal("unknown row resolved")
+	}
+}
+
+func TestScalesDistinct(t *testing.T) {
+	q, f := QuickScale(), FullScale()
+	if q.LogEvents >= f.LogEvents || q.SynRecords >= f.SynRecords {
+		t.Fatal("full scale should exceed quick scale")
+	}
+	if len(f.SynSizes) < len(q.SynSizes) {
+		t.Fatal("full scale should sweep at least as many sizes")
+	}
+}

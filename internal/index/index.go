@@ -1,0 +1,47 @@
+// Package index defines the contract between EFind and the data sources it
+// connects to. The paper uses "index" broadly: database-like indices,
+// inverted indices, key-value stores, knowledge bases, and cloud services
+// all qualify, as long as a lookup with the same key returns the same
+// result for the duration of a job. EFind itself implements no index; it
+// consumes this interface.
+package index
+
+import "efind/internal/sim"
+
+// Accessor is the paper's IndexAccessor: one implementation per index
+// type, reusable across jobs. Lookup takes an index key ik and returns the
+// result list {iv}.
+type Accessor interface {
+	// Name identifies the index in plans, statistics, and counters.
+	Name() string
+	// Lookup returns the values for key. Lookups must be idempotent for
+	// the duration of a job (EFind's only assumption about indices).
+	Lookup(key string) ([]string, error)
+	// ServeTime is the index-local computation time per lookup in virtual
+	// seconds (the paper's T_j term).
+	ServeTime() float64
+	// HostsFor returns the nodes that can serve the key locally, or nil
+	// when unknown (e.g. an external service outside the cluster).
+	HostsFor(key string) []sim.NodeID
+}
+
+// Scheme describes how a distributed index partitions its keys, as exposed
+// by e.g. the root of a distributed B-tree or a Cassandra ring. EFind
+// applies it in the shuffling job of the re-partitioning strategy so that
+// lookup keys are co-partitioned with the index (§3.4).
+type Scheme struct {
+	// Partitions is the number of index partitions.
+	Partitions int
+	// Fn maps a key to its partition.
+	Fn func(key string) int
+	// Hosts lists the replica nodes of each partition.
+	Hosts [][]sim.NodeID
+}
+
+// Partitioned is implemented by indices that can communicate their
+// partition scheme to EFind (the paper's partition method + flag on the
+// IndexAccessor class).
+type Partitioned interface {
+	Accessor
+	Scheme() *Scheme
+}

@@ -1,0 +1,220 @@
+package knnj
+
+import (
+	"fmt"
+	"testing"
+
+	"efind/internal/core"
+	"efind/internal/dfs"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+	"efind/internal/workloads"
+)
+
+func knnEnv(t *testing.T) (*sim.Cluster, *dfs.FS, *mapreduce.Engine) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 6
+	cfg.MapSlotsPerNode = 2
+	cfg.ReduceSlotsPerNode = 2
+	cfg.TaskStartup = 0.05
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 8 << 10
+	return cluster, fs, mapreduce.New(cluster, fs)
+}
+
+func points(n int, seed int64) []workloads.SpatialPoint {
+	return GenerateTestPoints(n, seed)
+}
+
+// GenerateTestPoints wraps the workload generator with a distinct seed
+// space for A vs B sets.
+func GenerateTestPoints(n int, seed int64) []workloads.SpatialPoint {
+	cfg := workloads.SpatialConfig{Points: n, Extent: 1000, Clusters: 10, Seed: seed}
+	pts := workloads.GenerateSpatialPoints(cfg)
+	for i := range pts {
+		pts[i].ID = fmt.Sprintf("s%d-%05d", seed, i)
+	}
+	return pts
+}
+
+func TestSpatialIndexLookupAccuracy(t *testing.T) {
+	cluster, _, _ := knnEnv(t)
+	b := points(4000, 2)
+	cfg := DefaultSpatialIndexConfig(1000)
+	cfg.K = 10
+	idx, err := BuildSpatialIndex(cluster, "bidx", b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := points(200, 3)
+	exact := BruteForceKNN(a, b, 10)
+	got := map[string][]Neighbor{}
+	for _, p := range a {
+		vals, err := idx.Lookup(p.Value())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[p.ID] = ParseNeighbors(vals)
+	}
+	// The fixed-overlap grid is inherently approximate near cell borders
+	// in sparse regions (the paper's design has the same property); the
+	// bar is high recall, not exactness.
+	r := Recall(got, exact)
+	if r < 0.85 {
+		t.Fatalf("grid R*-tree recall = %.3f, want ≥0.85", r)
+	}
+}
+
+func TestSpatialIndexSchemeConsistent(t *testing.T) {
+	cluster, _, _ := knnEnv(t)
+	idx, err := BuildSpatialIndex(cluster, "bidx", points(500, 4), DefaultSpatialIndexConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := idx.Scheme()
+	if sch.Partitions != 32 {
+		t.Fatalf("partitions = %d, want 4×8", sch.Partitions)
+	}
+	for _, p := range points(100, 5) {
+		cell := sch.Fn(p.Value())
+		if cell < 0 || cell >= 32 {
+			t.Fatalf("cell %d out of range", cell)
+		}
+		hosts := idx.HostsFor(p.Value())
+		if len(hosts) != 3 {
+			t.Fatalf("hosts = %v", hosts)
+		}
+		for i := range hosts {
+			if hosts[i] != sch.Hosts[cell][i] {
+				t.Fatal("HostsFor disagrees with scheme")
+			}
+		}
+	}
+}
+
+func TestSpatialIndexBadConfig(t *testing.T) {
+	cluster, _, _ := knnEnv(t)
+	if _, err := BuildSpatialIndex(cluster, "x", nil, SpatialIndexConfig{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestParseNeighborsRobust(t *testing.T) {
+	got := ParseNeighbors([]string{"a:1.5", "bad", "b:2.25", ":3", "c:xyz"})
+	if len(got) != 2 || got[0].ID != "a" || got[1].DistSq != 2.25 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestRecallMetric(t *testing.T) {
+	exact := map[string][]Neighbor{"q": {{ID: "a"}, {ID: "b"}}}
+	if r := Recall(map[string][]Neighbor{"q": {{ID: "a"}, {ID: "b"}}}, exact); r != 1 {
+		t.Fatalf("perfect recall = %g", r)
+	}
+	if r := Recall(map[string][]Neighbor{"q": {{ID: "a"}}}, exact); r != 0.5 {
+		t.Fatalf("half recall = %g", r)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("empty recall = %g", r)
+	}
+}
+
+func TestEFindKNNJoin(t *testing.T) {
+	cluster, fs, engine := knnEnv(t)
+	rt := core.NewRuntime(engine)
+	b := points(3000, 6)
+	a := points(400, 7)
+	idxCfg := DefaultSpatialIndexConfig(1000)
+	idxCfg.K = 5
+	idx, err := BuildSpatialIndex(cluster, "bidx", b, idxCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := workloads.WriteSpatial(fs, "a-points", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		label string
+		mode  core.Mode
+		strat core.Strategy
+		force bool
+	}{
+		{"base", core.ModeBaseline, 0, false},
+		{"idxloc", core.ModeCustom, core.IndexLocality, true},
+	} {
+		conf := EFindConf("knn-"+mode.label, input, idx, mode.mode)
+		if mode.force {
+			conf.ForceStrategy("knn", idx.Name(), mode.strat)
+		}
+		res, err := rt.Submit(conf)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.label, err)
+		}
+		join := CollectJoin(res.Output)
+		if len(join) != len(a) {
+			t.Fatalf("%s: join covers %d of %d query points", mode.label, len(join), len(a))
+		}
+		r := Recall(join, BruteForceKNN(a, b, 5))
+		if r < 0.9 {
+			t.Fatalf("%s: recall %.3f", mode.label, r)
+		}
+	}
+}
+
+func TestHZKNNJ(t *testing.T) {
+	_, _, engine := knnEnv(t)
+	b := points(3000, 8)
+	a := points(300, 9)
+	cfg := DefaultHZConfig(5)
+	cfg.Epsilon = 0.02 // small sets need a denser sample
+	res, err := RunHZKNNJ(engine, a, b, 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != cfg.Alpha+2 {
+		t.Fatalf("jobs = %d, want sampling + %d shifts + select", res.Jobs, cfg.Alpha)
+	}
+	if len(res.Join) != len(a) {
+		t.Fatalf("join covers %d of %d query points", len(res.Join), len(a))
+	}
+	for id, nbrs := range res.Join {
+		if len(nbrs) > 5 {
+			t.Fatalf("%s has %d neighbours, want ≤5", id, len(nbrs))
+		}
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i].DistSq < nbrs[i-1].DistSq {
+				t.Fatalf("%s neighbours unsorted", id)
+			}
+		}
+	}
+	r := Recall(res.Join, BruteForceKNN(a, b, 5))
+	if r < 0.75 {
+		t.Fatalf("H-zkNNJ recall %.3f too low (approximate, but α=2 shifts should land ≥0.75)", r)
+	}
+	if res.VTime <= 0 {
+		t.Fatal("no virtual time")
+	}
+}
+
+func TestHZKNNJBadConfig(t *testing.T) {
+	_, _, engine := knnEnv(t)
+	if _, err := RunHZKNNJ(engine, nil, nil, 1000, HZConfig{}); err == nil {
+		t.Fatal("zero config should fail")
+	}
+}
+
+func TestHZKNNJNoTempLeaks(t *testing.T) {
+	_, fs, engine := knnEnv(t)
+	before := len(fs.List())
+	_, err := RunHZKNNJ(engine, points(200, 10), points(800, 11), 1000, DefaultHZConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := len(fs.List()); after != before {
+		t.Fatalf("temp files leaked: %v", fs.List())
+	}
+}

@@ -1,0 +1,36 @@
+package knnj
+
+import (
+	"testing"
+)
+
+func TestSpatialIndexStats(t *testing.T) {
+	cluster, _, _ := knnEnv(t)
+	cfg := DefaultSpatialIndexConfig(1000)
+	cfg.K = 7
+	idx, err := BuildSpatialIndex(cluster, "s", points(200, 12), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.K() != 7 {
+		t.Fatalf("K = %d", idx.K())
+	}
+	if _, err := idx.Lookup("10.0,10.0"); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Lookups() != 1 {
+		t.Fatalf("lookups = %d", idx.Lookups())
+	}
+	idx.ResetStats()
+	if idx.Lookups() != 0 {
+		t.Fatal("reset failed")
+	}
+	// Bad keys error but still count.
+	if _, err := idx.Lookup("not-a-point"); err == nil {
+		t.Fatal("bad spatial key should error")
+	}
+	// Out-of-range coordinates clamp to boundary cells rather than panic.
+	if _, err := idx.Lookup("-50.0,99999.0"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package kvstore is a simulated distributed key-value index service in
+// the image of the paper's Cassandra deployment: keys are spread over a
+// fixed number of partitions (hash- or range-partitioned), each partition
+// is replicated across nodes and stored in an ordered B+tree, the
+// partition scheme is queryable (the paper controls Cassandra placement
+// via PropertyFileSnitch precisely so EFind can know it), and every lookup
+// costs a configurable serve time T_j.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"efind/internal/btree"
+	"efind/internal/index"
+	"efind/internal/sim"
+)
+
+// Store is a distributed KV index. Create with NewHash or NewRange, load
+// with Put/Load, then serve Lookup traffic.
+type Store struct {
+	name      string
+	scheme    index.Scheme
+	parts     []*btree.Tree
+	serveTime float64
+	lookups   int64
+	misses    int64
+}
+
+var _ index.Partitioned = (*Store)(nil)
+
+// NewHash creates a hash-partitioned store (the paper's setup: 32
+// partitions via HashPartitioner, each replicated to 3 nodes).
+func NewHash(cluster *sim.Cluster, name string, partitions, replicas int, serveTime float64) *Store {
+	if partitions < 1 {
+		partitions = 1
+	}
+	s := &Store{
+		name: name,
+		scheme: index.Scheme{
+			Partitions: partitions,
+			Fn:         func(key string) int { return hashPartition(key, partitions) },
+		},
+		serveTime: serveTime,
+	}
+	s.initParts(cluster, replicas)
+	return s
+}
+
+// NewRange creates a range-partitioned store with the given split points:
+// partition i holds keys in [splits[i-1], splits[i]), with open ends. A
+// store with len(splits)+1 partitions results.
+func NewRange(cluster *sim.Cluster, name string, splits []string, replicas int, serveTime float64) *Store {
+	bounds := append([]string(nil), splits...)
+	sort.Strings(bounds)
+	partitions := len(bounds) + 1
+	s := &Store{
+		name: name,
+		scheme: index.Scheme{
+			Partitions: partitions,
+			Fn: func(key string) int {
+				return sort.SearchStrings(bounds, key+"\x00") // first bound > key
+			},
+		},
+		serveTime: serveTime,
+	}
+	s.initParts(cluster, replicas)
+	return s
+}
+
+func (s *Store) initParts(cluster *sim.Cluster, replicas int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	s.parts = make([]*btree.Tree, s.scheme.Partitions)
+	s.scheme.Hosts = make([][]sim.NodeID, s.scheme.Partitions)
+	for i := range s.parts {
+		s.parts[i] = btree.New()
+		s.scheme.Hosts[i] = cluster.PlaceReplicas(replicas)
+	}
+}
+
+// Name implements index.Accessor.
+func (s *Store) Name() string { return s.name }
+
+// Put appends a value under key (a key can hold several values, like a
+// non-unique secondary index).
+func (s *Store) Put(key, value string) {
+	p := s.parts[s.scheme.Fn(key)]
+	if cur, ok := p.Get(key); ok {
+		p.Put(key, append(cur.([]string), value))
+		return
+	}
+	p.Put(key, []string{value})
+}
+
+// Load bulk-inserts pairs.
+func (s *Store) Load(pairs map[string][]string) {
+	for k, vs := range pairs {
+		for _, v := range vs {
+			s.Put(k, v)
+		}
+	}
+}
+
+// Lookup implements index.Accessor. A missing key returns an empty result,
+// not an error (the paper's lookups return a possibly empty list {iv}).
+func (s *Store) Lookup(key string) ([]string, error) {
+	s.lookups++
+	v, ok := s.parts[s.scheme.Fn(key)].Get(key)
+	if !ok {
+		s.misses++
+		return nil, nil
+	}
+	return v.([]string), nil
+}
+
+// ServeTime implements index.Accessor (the T_j term).
+func (s *Store) ServeTime() float64 { return s.serveTime }
+
+// HostsFor implements index.Accessor.
+func (s *Store) HostsFor(key string) []sim.NodeID {
+	return s.scheme.Hosts[s.scheme.Fn(key)]
+}
+
+// Scheme implements index.Partitioned.
+func (s *Store) Scheme() *index.Scheme { return &s.scheme }
+
+// Lookups returns how many lookups the store has served — the observable
+// the redundancy-reducing strategies shrink.
+func (s *Store) Lookups() int64 { return s.lookups }
+
+// Misses returns how many lookups found no value.
+func (s *Store) Misses() int64 { return s.misses }
+
+// ResetStats clears the lookup counters (between experiment runs).
+func (s *Store) ResetStats() { s.lookups, s.misses = 0, 0 }
+
+// Len returns the total number of distinct keys stored.
+func (s *Store) Len() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.Len()
+	}
+	return n
+}
+
+// PartitionSizes returns the distinct-key count per partition, for tests
+// of partition balance.
+func (s *Store) PartitionSizes() []int {
+	out := make([]int, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.Len()
+	}
+	return out
+}
+
+// String describes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("kvstore(%s, %d partitions, %d keys)", s.name, s.scheme.Partitions, s.Len())
+}
+
+// hashPartition matches the paper's use of Hadoop's HashPartitioner for
+// the index partitions.
+func hashPartition(key string, n int) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}

@@ -1,0 +1,37 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"efind/internal/sim"
+)
+
+func BenchmarkPut(b *testing.B) {
+	s := NewHash(sim.NewCluster(sim.DefaultConfig()), "b", 32, 3, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(fmt.Sprintf("key-%09d", i), "value")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	s := NewHash(sim.NewCluster(sim.DefaultConfig()), "b", 32, 3, 0)
+	for i := 0; i < 100000; i++ {
+		s.Put(fmt.Sprintf("key-%09d", i), "value")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup(fmt.Sprintf("key-%09d", i%100000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostsFor(b *testing.B) {
+	s := NewHash(sim.NewCluster(sim.DefaultConfig()), "b", 32, 3, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HostsFor("some-key")
+	}
+}

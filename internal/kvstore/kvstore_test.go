@@ -1,0 +1,189 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"efind/internal/sim"
+)
+
+func cluster() *sim.Cluster { return sim.NewCluster(sim.DefaultConfig()) }
+
+func TestPutLookup(t *testing.T) {
+	s := NewHash(cluster(), "t", 8, 3, 1e-3)
+	s.Put("a", "1")
+	s.Put("a", "2")
+	s.Put("b", "3")
+	got, err := s.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+	if got, _ := s.Lookup("b"); len(got) != 1 || got[0] != "3" {
+		t.Fatalf("Lookup(b) = %v", got)
+	}
+}
+
+func TestLookupMissingReturnsEmpty(t *testing.T) {
+	s := NewHash(cluster(), "t", 8, 3, 0)
+	got, err := s.Lookup("missing")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("missing key should yield empty result, got %v, %v", got, err)
+	}
+	if s.Misses() != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses())
+	}
+}
+
+func TestLookupCounting(t *testing.T) {
+	s := NewHash(cluster(), "t", 4, 3, 0)
+	s.Put("a", "1")
+	for i := 0; i < 5; i++ {
+		s.Lookup("a")
+	}
+	if s.Lookups() != 5 {
+		t.Fatalf("lookups = %d, want 5", s.Lookups())
+	}
+	s.ResetStats()
+	if s.Lookups() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestSchemeConsistentWithHosts(t *testing.T) {
+	s := NewHash(cluster(), "t", 32, 3, 0)
+	sch := s.Scheme()
+	if sch.Partitions != 32 || len(sch.Hosts) != 32 {
+		t.Fatalf("scheme partitions = %d hosts = %d", sch.Partitions, len(sch.Hosts))
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p := sch.Fn(key)
+		if p < 0 || p >= 32 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		hosts := s.HostsFor(key)
+		if len(hosts) != 3 {
+			t.Fatalf("HostsFor returned %d hosts", len(hosts))
+		}
+		for j := range hosts {
+			if hosts[j] != sch.Hosts[p][j] {
+				t.Fatalf("HostsFor disagrees with scheme for key %q", key)
+			}
+		}
+	}
+}
+
+func TestHashPartitionBalance(t *testing.T) {
+	s := NewHash(cluster(), "t", 16, 3, 0)
+	for i := 0; i < 16000; i++ {
+		s.Put(fmt.Sprintf("key-%06d", i), "v")
+	}
+	sizes := s.PartitionSizes()
+	for p, n := range sizes {
+		if n < 500 || n > 1500 {
+			t.Fatalf("partition %d badly skewed: %d keys (expect ~1000)", p, n)
+		}
+	}
+	if s.Len() != 16000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestRangePartitioning(t *testing.T) {
+	s := NewRange(cluster(), "t", []string{"g", "p"}, 3, 0)
+	sch := s.Scheme()
+	if sch.Partitions != 3 {
+		t.Fatalf("partitions = %d, want 3", sch.Partitions)
+	}
+	cases := map[string]int{
+		"a": 0, "f": 0,
+		"g": 1, "m": 1, "ozzz": 1,
+		"p": 2, "z": 2,
+	}
+	for key, want := range cases {
+		if got := sch.Fn(key); got != want {
+			t.Fatalf("range Fn(%q) = %d, want %d", key, got, want)
+		}
+	}
+	s.Put("apple", "1")
+	s.Put("zebra", "2")
+	if got, _ := s.Lookup("apple"); len(got) != 1 {
+		t.Fatalf("range lookup apple = %v", got)
+	}
+	if got, _ := s.Lookup("zebra"); len(got) != 1 {
+		t.Fatalf("range lookup zebra = %v", got)
+	}
+}
+
+func TestServeTime(t *testing.T) {
+	s := NewHash(cluster(), "t", 4, 3, 0.0008)
+	if s.ServeTime() != 0.0008 {
+		t.Fatalf("serve time = %g", s.ServeTime())
+	}
+}
+
+func TestLoad(t *testing.T) {
+	s := NewHash(cluster(), "t", 4, 3, 0)
+	s.Load(map[string][]string{"a": {"1", "2"}, "b": {"3"}})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got, _ := s.Lookup("a"); len(got) != 2 {
+		t.Fatalf("loaded values = %v", got)
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	s := NewHash(cluster(), "t", 0, 0, 0)
+	s.Put("a", "1")
+	if got, _ := s.Lookup("a"); len(got) != 1 {
+		t.Fatal("single-partition fallback store broken")
+	}
+	if len(s.HostsFor("a")) != 1 {
+		t.Fatal("replica clamp failed")
+	}
+}
+
+// Property: every Put value is returned by Lookup in insertion order,
+// regardless of partitioning mode.
+func TestLookupReturnsAllPuts(t *testing.T) {
+	f := func(keys []string, useRange bool) bool {
+		if len(keys) > 200 {
+			return true
+		}
+		var s *Store
+		if useRange {
+			s = NewRange(cluster(), "t", []string{"m"}, 2, 0)
+		} else {
+			s = NewHash(cluster(), "t", 7, 2, 0)
+		}
+		want := map[string][]string{}
+		for i, k := range keys {
+			if len(k) > 40 {
+				k = k[:40]
+			}
+			v := fmt.Sprintf("v%d", i)
+			s.Put(k, v)
+			want[k] = append(want[k], v)
+		}
+		for k, vs := range want {
+			got, err := s.Lookup(k)
+			if err != nil || len(got) != len(vs) {
+				return false
+			}
+			for i := range vs {
+				if got[i] != vs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package lru provides the fixed-capacity, LRU-evicting lookup cache used
+// by EFind's lookup-cache strategy (§3.2). The paper fixes the capacity at
+// 1024 index key/value entries; capacity sweeps are exposed as an ablation.
+package lru
+
+import "container/list"
+
+// Cache is a string-keyed LRU cache. It is not safe for concurrent use;
+// callers that share a cache across tasks must synchronize (the EFind
+// runtime does).
+type Cache struct {
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type entry struct {
+	key    string
+	values []string
+}
+
+// New returns a cache holding up to capacity entries. Capacity is clamped
+// to at least 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached lookup result for key and whether it was present,
+// promoting the entry to most-recently-used on a hit.
+func (c *Cache) Get(key string) ([]string, bool) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry).values, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores the lookup result for key, evicting the least-recently-used
+// entry if the cache is full. Re-putting an existing key refreshes it.
+func (c *Cache) Put(key string, values []string) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).values = values
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, values: values})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry).key)
+		}
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Capacity returns the configured maximum entry count.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Stats returns the hit and miss counts since creation or the last Reset.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// MissRatio returns misses/(hits+misses), the paper's R term, or 1 if the
+// cache has never been probed (a pessimistic prior).
+func (c *Cache) MissRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	c.ll = list.New()
+	c.items = make(map[string]*list.Element, c.capacity)
+	c.hits, c.misses = 0, 0
+}

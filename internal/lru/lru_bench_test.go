@@ -1,0 +1,32 @@
+package lru
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGetPutMixed mimics the lookup-cache access pattern: probe, and
+// fill on miss, with a working set 4x the capacity.
+func BenchmarkGetPutMixed(b *testing.B) {
+	c := New(1024)
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ik-%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[(i*2654435761)%len(keys)]
+		if _, ok := c.Get(k); !ok {
+			c.Put(k, []string{"v"})
+		}
+	}
+}
+
+func BenchmarkGetHot(b *testing.B) {
+	c := New(1024)
+	c.Put("hot", []string{"v"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get("hot")
+	}
+}

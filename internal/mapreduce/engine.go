@@ -1,0 +1,553 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"efind/internal/dfs"
+	"efind/internal/sim"
+)
+
+// Engine executes jobs on a simulated cluster. Records really flow through
+// the user functions; durations are virtual times from the sim cost model.
+type Engine struct {
+	Cluster *sim.Cluster
+	FS      *dfs.FS
+	// FaultInjector, when set, is consulted before each task attempt:
+	// returning true fails that attempt after it has consumed its full
+	// duration, and the task is re-executed (MapReduce's re-execution
+	// fault tolerance). Attempts are 1-based; an attempt that is not
+	// failed succeeds. Used by failure-injection tests.
+	FaultInjector func(kind TaskKind, task, attempt int) bool
+}
+
+// CounterTaskRetries counts failed task attempts that were re-executed.
+const CounterTaskRetries = "task.retries"
+
+// maxAttempts caps re-execution (Hadoop's mapred.map.max.attempts = 4).
+const maxAttempts = 4
+
+// New returns an engine bound to the cluster and file system.
+func New(cluster *sim.Cluster, fs *dfs.FS) *Engine {
+	return &Engine{Cluster: cluster, FS: fs}
+}
+
+// MapOutput is the materialized output of one map task, partitioned into
+// reducer buckets. The EFind runtime keeps these around so a mid-job plan
+// change can reuse completed map tasks (Figure 10(a)).
+type MapOutput struct {
+	Split   int
+	Node    sim.NodeID
+	Buckets [][]Pair
+	Bytes   int
+}
+
+// MapPhaseResult is the outcome of running (a subset of) a job's map phase.
+type MapPhaseResult struct {
+	Outputs  []*MapOutput
+	Stats    []TaskStats
+	Phase    sim.PhaseResult
+	Counters map[string]int64
+	// VTime is the phase makespan in virtual seconds.
+	VTime float64
+}
+
+// Result is the outcome of a complete job.
+type Result struct {
+	Output      *dfs.File
+	VTime       float64
+	Counters    map[string]int64
+	MapStats    []TaskStats
+	ReduceStats []TaskStats
+	MapPhase    sim.PhaseResult
+	ReducePhase sim.PhaseResult
+	MapOutputs  []*MapOutput
+}
+
+// Run executes the whole job and returns its result. Splits limits the map
+// phase to the given split indices when non-nil (used by the adaptive
+// runtime to process first-wave splits under one plan and the rest under
+// another).
+func (e *Engine) Run(job *Job) (*Result, error) {
+	if err := job.validate(e); err != nil {
+		return nil, err
+	}
+	mp, err := e.RunMapPhase(job, nil)
+	if err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		return e.FinishMapOnly(job, mp)
+	}
+	return e.RunReducePhase(job, mp)
+}
+
+// RunMapPhase executes the map side of the job over the given split
+// indices (nil means all splits). Chained MapStagesBefore, Map, and
+// MapStagesAfter run per record; outputs are partitioned for NumReduce
+// reducers (or kept whole for map-only jobs).
+func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
+	if err := job.validate(e); err != nil {
+		return nil, err
+	}
+	if splits == nil {
+		splits = job.Splits
+	}
+	if splits == nil {
+		splits = make([]int, len(job.Input.Chunks))
+		for i := range splits {
+			splits[i] = i
+		}
+	}
+	for _, s := range splits {
+		if s < 0 || s >= len(job.Input.Chunks) {
+			return nil, fmt.Errorf("mapreduce: job %q split %d out of range [0,%d)", job.Name, s, len(job.Input.Chunks))
+		}
+	}
+
+	res := &MapPhaseResult{
+		Outputs:  make([]*MapOutput, len(splits)),
+		Stats:    make([]TaskStats, len(splits)),
+		Counters: make(map[string]int64),
+	}
+	tasks := make([]sim.Task, len(splits))
+	for i, s := range splits {
+		i, s := i, s
+		chunk := job.Input.Chunks[s]
+		preferred := append([]sim.NodeID(nil), chunk.Replicas...)
+		if job.MapPlacement != nil {
+			preferred = job.MapPlacement(s, chunk)
+		}
+		tasks[i] = sim.Task{
+			Preferred: preferred,
+			Run: func(node sim.NodeID) float64 {
+				total := 0.0
+				for attempt := 1; ; attempt++ {
+					out, stats := e.runMapTask(job, i, s, chunk, node)
+					total += stats.Duration
+					if e.failAttempt(MapTask, i, attempt) {
+						continue // attempt wasted; re-execute
+					}
+					stats.Duration = total
+					stats.Counters[CounterTaskRetries] = int64(attempt - 1)
+					res.Outputs[i] = out
+					res.Stats[i] = stats
+					return total
+				}
+			},
+		}
+	}
+	res.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().MapSlotsPerNode)
+	res.VTime = res.Phase.Makespan
+	for _, st := range res.Stats {
+		mergeCounters(res.Counters, st.Counters)
+	}
+	return res, nil
+}
+
+// runMapTask executes one map task on the given node.
+func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node sim.NodeID) (*MapOutput, TaskStats) {
+	ctx := NewTaskContext(e.Cluster, node, taskID, MapTask)
+
+	// Input read: local disk when a replica lives here, network otherwise.
+	if sim.ContainsNode(chunk.Replicas, node) {
+		ctx.Charge(e.Cluster.DiskTime(float64(chunk.Bytes)))
+	} else {
+		ctx.ChargeNet(float64(chunk.Bytes))
+	}
+
+	numBuckets := 1
+	if job.Reduce != nil {
+		numBuckets = job.NumReduce
+	}
+	out := &MapOutput{Split: split, Node: node, Buckets: make([][]Pair, numBuckets)}
+	outRecords := 0
+	sink := func(p Pair) {
+		b := 0
+		if job.Reduce != nil {
+			b = job.Partition(p.Key, job.NumReduce)
+		}
+		out.Buckets[b] = append(out.Buckets[b], p)
+		out.Bytes += p.Size()
+		outRecords++
+	}
+
+	mapStage := &FuncStage{OnProcess: job.Map}
+	if job.Map == nil {
+		mapStage = &FuncStage{OnProcess: identityMap}
+	}
+	pipe := newPipeline(ctx, node, job.MapStagesBefore, mapStage, job.MapStagesAfter, sink)
+	pipe.open()
+	for _, r := range chunk.Records {
+		pipe.process(Pair{Key: r.Key, Value: r.Value})
+	}
+	pipe.close()
+
+	if job.Combine != nil && job.Reduce != nil {
+		e.combineBuckets(ctx, job, out)
+		outRecords = 0
+		for _, b := range out.Buckets {
+			outRecords += len(b)
+		}
+	}
+
+	ctx.Inc(CounterInputRecords, int64(len(chunk.Records)))
+	ctx.Inc(CounterInputBytes, int64(chunk.Bytes))
+	ctx.Inc(CounterOutputRecords, int64(outRecords))
+	ctx.Inc(CounterOutputBytes, int64(out.Bytes))
+	ctx.Charge(e.Cluster.CPUTime(len(chunk.Records)+outRecords, float64(chunk.Bytes+out.Bytes)))
+	if job.Reduce == nil {
+		// Map-only jobs materialize their output to the DFS directly.
+		ctx.Charge(e.Cluster.DFSTime(float64(out.Bytes)))
+	}
+	return out, e.taskStats(ctx)
+}
+
+// combineBuckets applies the job's combiner to each reducer bucket of one
+// map task's output: values of equal keys are grouped (sort within the
+// bucket) and fed through Combine, and the bucket is replaced with the
+// combined records. The spill sort and combine CPU are charged.
+func (e *Engine) combineBuckets(ctx *TaskContext, job *Job, out *MapOutput) {
+	inRecords, inBytes := 0, 0
+	out.Bytes = 0
+	for bi, bucket := range out.Buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		inRecords += len(bucket)
+		for _, p := range bucket {
+			inBytes += p.Size()
+		}
+		sort.SliceStable(bucket, func(i, j int) bool { return bucket[i].Key < bucket[j].Key })
+		var combined []Pair
+		emit := func(p Pair) {
+			combined = append(combined, p)
+			out.Bytes += p.Size()
+		}
+		for i := 0; i < len(bucket); {
+			j := i
+			for j < len(bucket) && bucket[j].Key == bucket[i].Key {
+				j++
+			}
+			values := make([]string, 0, j-i)
+			for _, p := range bucket[i:j] {
+				values = append(values, p.Value)
+			}
+			job.Combine(ctx, bucket[i].Key, values, emit)
+			i = j
+		}
+		out.Buckets[bi] = combined
+	}
+	ctx.Inc(CounterCombineInRecords, int64(inRecords))
+	ctx.Inc(CounterCombineOutRecords, int64(totalRecords(out.Buckets)))
+	ctx.Charge(e.Cluster.CPUTime(inRecords, float64(inBytes)))
+}
+
+func totalRecords(buckets [][]Pair) int {
+	n := 0
+	for _, b := range buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// RunReducePhase shuffles the given map outputs, runs the reduce side, and
+// writes the job output. The map outputs may come from several map phases
+// (plan changes merge old-plan and new-plan map results, Figure 10(a)).
+func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, extra ...*MapPhaseResult) (*Result, error) {
+	if err := job.validate(e); err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no reduce function", job.Name)
+	}
+	outputs := append([]*MapOutput(nil), mp.Outputs...)
+	stats := append([]TaskStats(nil), mp.Stats...)
+	vtime := mp.VTime
+	for _, m := range extra {
+		outputs = append(outputs, m.Outputs...)
+		stats = append(stats, m.Stats...)
+		vtime += m.VTime
+	}
+	for _, o := range outputs {
+		if len(o.Buckets) != job.NumReduce {
+			return nil, fmt.Errorf("mapreduce: job %q map output has %d buckets, want %d", job.Name, len(o.Buckets), job.NumReduce)
+		}
+	}
+
+	res := &Result{
+		Counters:   make(map[string]int64),
+		MapStats:   stats,
+		MapOutputs: outputs,
+		MapPhase:   mp.Phase,
+	}
+	sub, err := e.RunReduceSubset(job, outputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.ReduceStats = sub.Stats
+	res.ReducePhase = sub.Phase
+	res.VTime = vtime + sub.VTime
+
+	name := job.OutputName
+	if name == "" {
+		name = e.FS.TempName(job.Name + "-out")
+	}
+	out, err := e.FS.CreateSharded(name, sub.Shards, sub.Homes)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = out
+	for _, st := range res.MapStats {
+		mergeCounters(res.Counters, st.Counters)
+	}
+	for _, st := range res.ReduceStats {
+		mergeCounters(res.Counters, st.Counters)
+	}
+	return res, nil
+}
+
+// ReduceSubsetResult is the outcome of running a subset of a job's reduce
+// tasks without materializing a file. Shards and Homes are indexed by
+// position in the requested reducer list.
+type ReduceSubsetResult struct {
+	Reducers []int
+	Shards   [][]dfs.Record
+	Homes    []sim.NodeID
+	Stats    []TaskStats
+	Phase    sim.PhaseResult
+	VTime    float64
+}
+
+// RunReduceSubset shuffles the map outputs into the requested reducers
+// (nil = all) and executes only those reduce tasks. The EFind runtime uses
+// it for mid-reduce plan changes (Figure 10(b)): first-wave reducers run
+// under the old plan, the rest under the new one, and the caller merges
+// the shards.
+func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int) (*ReduceSubsetResult, error) {
+	if err := job.validate(e); err != nil {
+		return nil, err
+	}
+	if job.Reduce == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no reduce function", job.Name)
+	}
+	if reducers == nil {
+		reducers = make([]int, job.NumReduce)
+		for i := range reducers {
+			reducers[i] = i
+		}
+	}
+	for _, r := range reducers {
+		if r < 0 || r >= job.NumReduce {
+			return nil, fmt.Errorf("mapreduce: job %q reducer %d out of range [0,%d)", job.Name, r, job.NumReduce)
+		}
+	}
+	sub := &ReduceSubsetResult{
+		Reducers: reducers,
+		Shards:   make([][]dfs.Record, len(reducers)),
+		Homes:    make([]sim.NodeID, len(reducers)),
+		Stats:    make([]TaskStats, len(reducers)),
+	}
+	tasks := make([]sim.Task, len(reducers))
+	for i, r := range reducers {
+		i, r := i, r
+		tasks[i] = sim.Task{
+			Run: func(node sim.NodeID) float64 {
+				total := 0.0
+				for attempt := 1; ; attempt++ {
+					shard, st := e.runReduceTask(job, r, node, outputs)
+					total += st.Duration
+					if e.failAttempt(ReduceTask, r, attempt) {
+						continue
+					}
+					st.Duration = total
+					st.Counters[CounterTaskRetries] = int64(attempt - 1)
+					sub.Shards[i] = shard
+					sub.Homes[i] = node
+					sub.Stats[i] = st
+					return total
+				}
+			},
+		}
+	}
+	sub.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().ReduceSlotsPerNode)
+	sub.VTime = sub.Phase.Makespan
+	return sub, nil
+}
+
+// runReduceTask executes one reduce task: shuffle in, sort, group, reduce,
+// chained tail stages, and output collection.
+func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapOutput) ([]dfs.Record, TaskStats) {
+	ctx := NewTaskContext(e.Cluster, node, r, ReduceTask)
+
+	var input []Pair
+	inBytes := 0
+	for _, mo := range outputs {
+		bucket := mo.Buckets[r]
+		if len(bucket) == 0 {
+			continue
+		}
+		bytes := 0
+		for _, p := range bucket {
+			bytes += p.Size()
+		}
+		inBytes += bytes
+		if mo.Node != node {
+			ctx.ChargeNet(float64(bytes))
+		} else {
+			ctx.Charge(e.Cluster.DiskTime(float64(bytes)))
+		}
+		input = append(input, bucket...)
+	}
+	// Merge sort by key, stable so values stay in map-output order.
+	sort.SliceStable(input, func(i, j int) bool { return input[i].Key < input[j].Key })
+
+	var shard []dfs.Record
+	outBytes := 0
+	outRecords := 0
+	sink := func(p Pair) {
+		shard = append(shard, dfs.Record{Key: p.Key, Value: p.Value})
+		outBytes += p.Size()
+		outRecords++
+	}
+	pipe := newPipeline(ctx, node, nil, nil, job.ReduceStagesAfter, sink)
+	pipe.open()
+	for i := 0; i < len(input); {
+		j := i
+		for j < len(input) && input[j].Key == input[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, p := range input[i:j] {
+			values = append(values, p.Value)
+		}
+		job.Reduce(ctx, input[i].Key, values, pipe.process)
+		i = j
+	}
+	pipe.close()
+
+	ctx.Inc(CounterInputRecords, int64(len(input)))
+	ctx.Inc(CounterInputBytes, int64(inBytes))
+	ctx.Inc(CounterOutputRecords, int64(outRecords))
+	ctx.Inc(CounterOutputBytes, int64(outBytes))
+	ctx.Charge(e.Cluster.CPUTime(len(input)+outRecords, float64(inBytes+outBytes)))
+	ctx.Charge(e.Cluster.DFSTime(float64(outBytes)))
+	return shard, e.taskStats(ctx)
+}
+
+// FinishMapOnly materializes a map-only job's output (one shard per map
+// task, first replica on the task's node, as Hadoop's zero-reducer jobs).
+func (e *Engine) FinishMapOnly(job *Job, mp *MapPhaseResult) (*Result, error) {
+	name := job.OutputName
+	if name == "" {
+		name = e.FS.TempName(job.Name + "-out")
+	}
+	shards := make([][]dfs.Record, len(mp.Outputs))
+	homes := make([]sim.NodeID, len(mp.Outputs))
+	for i, mo := range mp.Outputs {
+		homes[i] = mo.Node
+		for _, b := range mo.Buckets {
+			for _, p := range b {
+				shards[i] = append(shards[i], dfs.Record{Key: p.Key, Value: p.Value})
+			}
+		}
+	}
+	out, err := e.FS.CreateSharded(name, shards, homes)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Output:     out,
+		VTime:      mp.VTime,
+		Counters:   make(map[string]int64),
+		MapStats:   mp.Stats,
+		MapPhase:   mp.Phase,
+		MapOutputs: mp.Outputs,
+	}
+	for _, st := range mp.Stats {
+		mergeCounters(res.Counters, st.Counters)
+	}
+	return res, nil
+}
+
+// failAttempt consults the fault injector, capping retries.
+func (e *Engine) failAttempt(kind TaskKind, task, attempt int) bool {
+	return e.FaultInjector != nil && attempt < maxAttempts && e.FaultInjector(kind, task, attempt)
+}
+
+// taskStats snapshots a finished task's context.
+func (e *Engine) taskStats(ctx *TaskContext) TaskStats {
+	st := TaskStats{
+		ID:       ctx.TaskID,
+		Kind:     ctx.Kind,
+		Node:     ctx.Node,
+		Counters: make(map[string]int64, len(ctx.counters)),
+		Duration: ctx.extra,
+	}
+	for k, v := range ctx.counters {
+		st.Counters[k] = v
+	}
+	if len(ctx.sketches) > 0 {
+		st.Sketches = make(map[string][]uint64, len(ctx.sketches))
+		for k, s := range ctx.sketches {
+			st.Sketches[k] = s.Vectors()
+		}
+	}
+	return st
+}
+
+func mergeCounters(dst map[string]int64, src map[string]int64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// pipeline chains stages (before → core → after) into a single
+// record-at-a-time flow ending in sink.
+type pipeline struct {
+	ctx    *TaskContext
+	stages []Stage
+	sink   Emit
+	emits  []Emit // emits[i] feeds stage i; emits[len] is the sink
+}
+
+// newPipeline builds the chained-function pipeline for a task. core may be
+// nil (reduce-side pipelines run the reduce function group-wise outside
+// the pipeline and feed only the after-stages).
+func newPipeline(ctx *TaskContext, node sim.NodeID, before []StageFactory, core Stage, after []StageFactory, sink Emit) *pipeline {
+	p := &pipeline{ctx: ctx, sink: sink}
+	for _, f := range before {
+		p.stages = append(p.stages, f(node))
+	}
+	if core != nil {
+		p.stages = append(p.stages, core)
+	}
+	for _, f := range after {
+		p.stages = append(p.stages, f(node))
+	}
+	// Build emit chain back to front.
+	p.emits = make([]Emit, len(p.stages)+1)
+	p.emits[len(p.stages)] = sink
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		stage := p.stages[i]
+		next := p.emits[i+1]
+		p.emits[i] = func(pr Pair) { stage.Process(ctx, pr, next) }
+	}
+	return p
+}
+
+func (p *pipeline) open() {
+	for _, s := range p.stages {
+		s.Open(p.ctx)
+	}
+}
+
+// process pushes one record into the front of the chain.
+func (p *pipeline) process(pr Pair) { p.emits[0](pr) }
+
+// close closes stages front to back so trailing emissions flow downstream.
+func (p *pipeline) close() {
+	for i, s := range p.stages {
+		s.Close(p.ctx, p.emits[i+1])
+	}
+}

@@ -1,0 +1,66 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efind/internal/dfs"
+	"efind/internal/sim"
+)
+
+// BenchmarkWordCountJob measures a full wordcount job (map, shuffle, sort,
+// reduce, output) on the simulated cluster.
+func BenchmarkWordCountJob(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 8 << 10
+	e := New(cluster, fs)
+
+	recs := make([]dfs.Record, 5000)
+	for i := range recs {
+		recs[i] = dfs.Record{Key: fmt.Sprintf("k%05d", i), Value: fmt.Sprintf("alpha beta gamma-%d delta", i%97)}
+	}
+	in, err := fs.Create("bench-in", recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := &Job{
+			Name:  fmt.Sprintf("wc-%d", i),
+			Input: in,
+			Map: func(_ *TaskContext, p Pair, emit Emit) {
+				for _, w := range strings.Fields(p.Value) {
+					emit(Pair{Key: w, Value: "1"})
+				}
+			},
+			NumReduce: 16,
+			Reduce: func(_ *TaskContext, key string, values []string, emit Emit) {
+				emit(Pair{Key: key, Value: strconv.Itoa(len(values))})
+			},
+		}
+		res, err := e.Run(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := fs.Remove(res.Output.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShufflePartitioning isolates the hash partitioner.
+func BenchmarkShufflePartitioning(b *testing.B) {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%08d", i*2654435761)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashPartition(keys[i%len(keys)], 48)
+	}
+}

@@ -1,0 +1,110 @@
+package mapreduce
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestFaultInjectionMapRetries: a failed map attempt re-executes, costs
+// extra virtual time, and the output is unchanged.
+func TestFaultInjectionMapRetries(t *testing.T) {
+	_, fs, e := testEnv(t)
+	in := makeInput(t, fs, "in", 300)
+	job := func(name string) *Job {
+		return &Job{Name: name, Input: in, NumReduce: 4, Reduce: IdentityReduce}
+	}
+
+	clean, err := e.Run(job("clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the first attempt of every third map task.
+	e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
+		return kind == MapTask && task%3 == 0 && attempt == 1
+	}
+	defer func() { e.FaultInjector = nil }()
+	faulty, err := e.Run(job("faulty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := collect(clean), collect(faulty)
+	if len(a) != len(b) {
+		t.Fatalf("fault run changed output size: %d vs %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault run changed output at %d: %q vs %q", i, b[i], a[i])
+		}
+	}
+	if faulty.Counters[CounterTaskRetries] == 0 {
+		t.Fatal("retries not counted")
+	}
+	// Re-execution burns task time (the cluster absorbs it in slack, so
+	// compare summed task durations rather than the makespan).
+	sum := func(stats []TaskStats) float64 {
+		total := 0.0
+		for _, st := range stats {
+			total += st.Duration
+		}
+		return total
+	}
+	if sum(faulty.MapStats) <= sum(clean.MapStats) {
+		t.Fatalf("re-execution should burn task time: %g vs %g", sum(faulty.MapStats), sum(clean.MapStats))
+	}
+}
+
+// TestFaultInjectionReduceRetries exercises the reduce-side retry path.
+func TestFaultInjectionReduceRetries(t *testing.T) {
+	_, fs, e := testEnv(t)
+	in := makeInput(t, fs, "in", 200)
+	e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
+		return kind == ReduceTask && attempt == 1
+	}
+	defer func() { e.FaultInjector = nil }()
+	res, err := e.Run(&Job{Name: "rfault", Input: in, NumReduce: 3, Reduce: IdentityReduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Records() != 200 {
+		t.Fatalf("records = %d", res.Output.Records())
+	}
+	var retries int64
+	for _, st := range res.ReduceStats {
+		retries += st.Counters[CounterTaskRetries]
+	}
+	if retries != 3 {
+		t.Fatalf("reduce retries = %d, want one per reducer", retries)
+	}
+}
+
+// TestFaultInjectionCapped: an always-failing injector still terminates
+// (the attempt cap forces the final attempt through).
+func TestFaultInjectionCapped(t *testing.T) {
+	_, fs, e := testEnv(t)
+	in := makeInput(t, fs, "in", 50)
+	e.FaultInjector = func(TaskKind, int, int) bool { return true }
+	defer func() { e.FaultInjector = nil }()
+	res, err := e.Run(&Job{Name: "always-fail", Input: in, NumReduce: 2, Reduce: IdentityReduce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Records() != 50 {
+		t.Fatalf("records = %d", res.Output.Records())
+	}
+	for _, st := range res.MapStats {
+		if st.Counters[CounterTaskRetries] != maxAttempts-1 {
+			t.Fatalf("map retries = %d, want %d", st.Counters[CounterTaskRetries], maxAttempts-1)
+		}
+	}
+}
+
+func collect(r *Result) []string {
+	var out []string
+	for _, rec := range r.Output.All() {
+		out = append(out, rec.Key+"\x00"+rec.Value)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"efind/internal/dfs"
+	"efind/internal/sim"
+)
+
+// Job describes one MapReduce job. The zero value of optional fields picks
+// Hadoop-like defaults: identity map, hash partitioner, data-locality
+// placement. A nil Reduce makes the job map-only (map output goes straight
+// to the output file, one shard per map task, as Hadoop does with zero
+// reducers).
+type Job struct {
+	// Name labels the job in outputs and temp file names.
+	Name string
+	// Input is the file to read. Each chunk becomes one input split.
+	Input *dfs.File
+
+	// MapStagesBefore are chained functions executed before Map (the
+	// paper's head IndexOperators compile into these).
+	MapStagesBefore []StageFactory
+	// Map is the user map function; nil means identity.
+	Map MapFunc
+	// MapStagesAfter are chained functions executed after Map as part of
+	// the map computation (body IndexOperators, Figure 6(b)).
+	MapStagesAfter []StageFactory
+
+	// Combine, when set on a job with a Reduce function, runs on each map
+	// task's output per reducer bucket before the shuffle (Hadoop's
+	// combiner): values of equal keys are pre-aggregated locally, cutting
+	// shuffle bytes. It must be algebraically compatible with Reduce
+	// (associative and commutative aggregation).
+	Combine ReduceFunc
+
+	// NumReduce is the reducer count; defaults to the cluster's total
+	// reduce slots when zero and a Reduce function is set.
+	NumReduce int
+	// Partition routes a map-output key to a reducer; nil = HashPartition.
+	Partition func(key string, numReduce int) int
+	// Reduce is the user reduce function; nil makes the job map-only.
+	Reduce ReduceFunc
+	// ReduceStagesAfter are chained functions executed after Reduce (tail
+	// IndexOperators, Figure 6(c)).
+	ReduceStagesAfter []StageFactory
+
+	// OutputName names the output file; empty picks a fresh temp name.
+	OutputName string
+	// Splits restricts the map phase to the given split indices (nil =
+	// all). The adaptive EFind runtime uses it to process first-wave
+	// splits under one plan and the remainder under another.
+	Splits []int
+	// MapPlacement overrides the preferred nodes of the map task for a
+	// split (the index-locality strategy schedules map tasks on index
+	// partition hosts instead of input chunk replicas). Nil = data
+	// locality (chunk replicas).
+	MapPlacement func(split int, chunk *dfs.Chunk) []sim.NodeID
+}
+
+// validate fills defaults and rejects unusable configurations.
+func (j *Job) validate(e *Engine) error {
+	if j.Input == nil {
+		return fmt.Errorf("mapreduce: job %q has no input", j.Name)
+	}
+	if j.Name == "" {
+		j.Name = "job"
+	}
+	if j.Partition == nil {
+		j.Partition = HashPartition
+	}
+	if j.Reduce != nil && j.NumReduce <= 0 {
+		j.NumReduce = e.Cluster.ReduceSlots()
+	}
+	return nil
+}
+
+// identityMap is used when Job.Map is nil.
+func identityMap(_ *TaskContext, in Pair, emit Emit) { emit(in) }
+
+// IdentityReduce emits every value of the group unchanged under the group
+// key. It is the reduce function of the paper's "shuffling jobs", whose
+// only purpose is the group-by between Map and Reduce.
+func IdentityReduce(_ *TaskContext, key string, values []string, emit Emit) {
+	for _, v := range values {
+		emit(Pair{Key: key, Value: v})
+	}
+}

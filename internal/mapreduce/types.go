@@ -1,0 +1,192 @@
+// Package mapreduce is a miniature MapReduce runtime in the image of
+// Hadoop 1.x, providing exactly the extension points the EFind paper
+// builds on: chained functions around Map and Reduce, counters that are
+// globally visible after each task, wave-based task scheduling with data
+// locality, and custom partitioners. Jobs execute for real (records flow
+// through user functions), while task durations are virtual times from the
+// sim cost model so the paper's experiments are deterministic and fast.
+package mapreduce
+
+import (
+	"hash/fnv"
+
+	"efind/internal/sim"
+	"efind/internal/sketch"
+)
+
+// Pair is the key/value record flowing through a job, following the
+// MapReduce convention of (k1, v1) inputs and (k2, v2) outputs.
+type Pair struct {
+	Key   string
+	Value string
+}
+
+// Size returns the payload size in bytes of the pair, including framing,
+// matching dfs.Record sizing so cost terms line up across layers.
+func (p Pair) Size() int { return len(p.Key) + len(p.Value) + 8 }
+
+// Emit passes one record downstream.
+type Emit func(Pair)
+
+// MapFunc is a user Map function.
+type MapFunc func(ctx *TaskContext, in Pair, emit Emit)
+
+// ReduceFunc is a user Reduce function, called once per key group with the
+// values in map-output order.
+type ReduceFunc func(ctx *TaskContext, key string, values []string, emit Emit)
+
+// Stage is one chained function in a task pipeline (the paper implements
+// preProcess, lookup and postProcess as chained functions, Figure 6).
+// Open runs once before the task's records, Close once after; Close may
+// emit trailing records.
+type Stage interface {
+	Open(ctx *TaskContext)
+	Process(ctx *TaskContext, in Pair, emit Emit)
+	Close(ctx *TaskContext, emit Emit)
+}
+
+// StageFactory builds the Stage instance for a task running on the given
+// node. Factories that want node-level shared state (e.g. a per-machine
+// lookup cache) can key it by node; the engine executes tasks sequentially
+// inside the simulation loop, so no locking is needed.
+type StageFactory func(node sim.NodeID) Stage
+
+// FuncStage adapts plain functions into a Stage. Nil fields are no-ops.
+type FuncStage struct {
+	OnOpen    func(ctx *TaskContext)
+	OnProcess func(ctx *TaskContext, in Pair, emit Emit)
+	OnClose   func(ctx *TaskContext, emit Emit)
+}
+
+// Open implements Stage.
+func (s *FuncStage) Open(ctx *TaskContext) {
+	if s.OnOpen != nil {
+		s.OnOpen(ctx)
+	}
+}
+
+// Process implements Stage.
+func (s *FuncStage) Process(ctx *TaskContext, in Pair, emit Emit) {
+	if s.OnProcess != nil {
+		s.OnProcess(ctx, in, emit)
+	} else {
+		emit(in)
+	}
+}
+
+// Close implements Stage.
+func (s *FuncStage) Close(ctx *TaskContext, emit Emit) {
+	if s.OnClose != nil {
+		s.OnClose(ctx, emit)
+	}
+}
+
+// TaskKind distinguishes map from reduce tasks in statistics.
+type TaskKind int
+
+// Task kinds.
+const (
+	MapTask TaskKind = iota
+	ReduceTask
+)
+
+func (k TaskKind) String() string {
+	if k == MapTask {
+		return "map"
+	}
+	return "reduce"
+}
+
+// TaskContext is handed to every user function and stage. It identifies
+// the executing task and node and accumulates the task's counters,
+// sketches, and virtual-time charges.
+type TaskContext struct {
+	// Node is the machine this task was scheduled on.
+	Node sim.NodeID
+	// TaskID is the task's index within its phase.
+	TaskID int
+	// Kind is MapTask or ReduceTask.
+	Kind TaskKind
+
+	cluster  *sim.Cluster
+	counters map[string]int64
+	sketches map[string]*sketch.FM
+	extra    float64
+}
+
+// NewTaskContext builds a context; exported for tests of stages outside
+// the engine.
+func NewTaskContext(cluster *sim.Cluster, node sim.NodeID, id int, kind TaskKind) *TaskContext {
+	return &TaskContext{
+		Node:     node,
+		TaskID:   id,
+		Kind:     kind,
+		cluster:  cluster,
+		counters: make(map[string]int64),
+		sketches: make(map[string]*sketch.FM),
+	}
+}
+
+// Cluster returns the simulated cluster the task runs in.
+func (c *TaskContext) Cluster() *sim.Cluster { return c.cluster }
+
+// Inc adds delta to the named counter (the paper's globally visible
+// MapReduce counters, §4.2).
+func (c *TaskContext) Inc(name string, delta int64) { c.counters[name] += delta }
+
+// Counter returns the current task-local value of the named counter.
+func (c *TaskContext) Counter(name string) int64 { return c.counters[name] }
+
+// Sketch returns the task's named FM sketch, creating it on first use with
+// the given width.
+func (c *TaskContext) Sketch(name string, width int) *sketch.FM {
+	s, ok := c.sketches[name]
+	if !ok {
+		s = sketch.New(width)
+		c.sketches[name] = s
+	}
+	return s
+}
+
+// Charge adds virtual seconds to the task's duration (index serve time,
+// cache probes, anything beyond the engine's own I/O and CPU charges).
+func (c *TaskContext) Charge(seconds float64) { c.extra += seconds }
+
+// ChargeNet adds the virtual time of a network transfer of the given size.
+func (c *TaskContext) ChargeNet(bytes float64) { c.extra += c.cluster.NetTime(bytes) }
+
+// Extra returns the accumulated Charge/ChargeNet time.
+func (c *TaskContext) Extra() float64 { return c.extra }
+
+// TaskStats is the per-task statistics record the adaptive optimizer
+// consumes: one sample per completed task (§4.2 treats each task's
+// statistics as a random sample for the variance test).
+type TaskStats struct {
+	ID       int
+	Kind     TaskKind
+	Node     sim.NodeID
+	Counters map[string]int64
+	Sketches map[string][]uint64
+	Duration float64
+}
+
+// HashPartition is the default partitioner (FNV-1a modulo reducers),
+// mirroring Hadoop's HashPartitioner.
+func HashPartition(key string, numReduce int) int {
+	if numReduce <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReduce))
+}
+
+// Built-in counter names maintained by the engine itself.
+const (
+	CounterInputRecords      = "task.input.records"
+	CounterInputBytes        = "task.input.bytes"
+	CounterOutputRecords     = "task.output.records"
+	CounterOutputBytes       = "task.output.bytes"
+	CounterCombineInRecords  = "task.combine.in.records"
+	CounterCombineOutRecords = "task.combine.out.records"
+)

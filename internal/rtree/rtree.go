@@ -1,0 +1,394 @@
+// Package rtree implements an in-memory R*-tree over 2-D points, the
+// spatial index the paper builds per map cell for the OSM k-nearest-
+// neighbour join experiment (§5.1: "we partition the US map into 4×8
+// cells ... then build an R*tree for each cell"). It supports insertion
+// with the R* choose-subtree, split, and forced-reinsert heuristics, plus
+// best-first kNN and window queries.
+package rtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+const (
+	maxEntries    = 16
+	minEntries    = 6 // ~40% of max, the R* recommendation
+	reinsertCount = 5 // ~30% of max entries reinserted on first overflow
+)
+
+// Point is a 2-D point with an opaque identifier.
+type Point struct {
+	X, Y float64
+	ID   string
+}
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+func pointRect(p Point) Rect { return Rect{p.X, p.Y, p.X, p.Y} }
+
+func (r Rect) area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+func (r Rect) margin() float64 { return (r.MaxX - r.MinX) + (r.MaxY - r.MinY) }
+
+func (r Rect) union(o Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, o.MinX),
+		MinY: math.Min(r.MinY, o.MinY),
+		MaxX: math.Max(r.MaxX, o.MaxX),
+		MaxY: math.Max(r.MaxY, o.MaxY),
+	}
+}
+
+func (r Rect) intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX && r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
+func (r Rect) overlap(o Rect) float64 {
+	w := math.Min(r.MaxX, o.MaxX) - math.Max(r.MinX, o.MinX)
+	h := math.Min(r.MaxY, o.MaxY) - math.Max(r.MinY, o.MinY)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// distSq returns the squared distance from (x, y) to the nearest point of
+// the rectangle (0 if inside).
+func (r Rect) distSq(x, y float64) float64 {
+	dx := math.Max(0, math.Max(r.MinX-x, x-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-y, y-r.MaxY))
+	return dx*dx + dy*dy
+}
+
+func (r Rect) center() (float64, float64) {
+	return (r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2
+}
+
+type entry struct {
+	rect  Rect
+	child *rnode // nil for leaf entries
+	point Point  // valid for leaf entries
+}
+
+type rnode struct {
+	leaf    bool
+	entries []entry
+	level   int    // 0 for leaves
+	parent  *rnode // nil for the root
+}
+
+// adopt points every child entry's parent at n (after splits move entries
+// between nodes).
+func (n *rnode) adopt() {
+	if n.leaf {
+		return
+	}
+	for _, e := range n.entries {
+		e.child.parent = n
+	}
+}
+
+func (n *rnode) mbr() Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.union(e.rect)
+	}
+	return r
+}
+
+// Tree is an R*-tree over points. The zero value is not usable; call New.
+type Tree struct {
+	root *rnode
+	size int
+	// reinserted tracks levels that already did a forced reinsert during
+	// the current insertion, per the R* "first overflow per level" rule.
+	reinserted map[int]bool
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &rnode{leaf: true, level: 0}}
+}
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds a point.
+func (t *Tree) Insert(p Point) {
+	t.reinserted = map[int]bool{}
+	t.insertEntry(entry{rect: pointRect(p), point: p}, 0)
+	t.size++
+}
+
+func (t *Tree) insertEntry(e entry, level int) {
+	n := t.chooseSubtree(t.root, e.rect, level)
+	n.entries = append(n.entries, e)
+	if e.child != nil {
+		e.child.parent = n
+	}
+	t.handleOverflow(n)
+}
+
+// chooseSubtree descends to the node at the target level using the R*
+// criteria: minimum overlap enlargement when the children are leaves,
+// minimum area enlargement otherwise.
+func (t *Tree) chooseSubtree(n *rnode, r Rect, level int) *rnode {
+	for n.level > level {
+		best := -1
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		childrenAreLeaves := n.level == 1
+		for i, e := range n.entries {
+			u := e.rect.union(r)
+			enl := u.area() - e.rect.area()
+			var ov float64
+			if childrenAreLeaves {
+				for j, o := range n.entries {
+					if j != i {
+						ov += u.overlap(o.rect) - e.rect.overlap(o.rect)
+					}
+				}
+			}
+			if childrenAreLeaves {
+				if ov < bestOverlap || (ov == bestOverlap && (enl < bestEnl || (enl == bestEnl && e.rect.area() < bestArea))) {
+					best, bestOverlap, bestEnl, bestArea = i, ov, enl, e.rect.area()
+				}
+			} else {
+				if enl < bestEnl || (enl == bestEnl && e.rect.area() < bestArea) {
+					best, bestEnl, bestArea = i, enl, e.rect.area()
+				}
+			}
+		}
+		n.entries[best].rect = n.entries[best].rect.union(r)
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// handleOverflow applies forced reinsert on the first overflow of a level
+// during an insertion, and splits otherwise, propagating up the tree.
+func (t *Tree) handleOverflow(n *rnode) {
+	if len(n.entries) <= maxEntries {
+		return
+	}
+	if n != t.root && !t.reinserted[n.level] {
+		t.reinserted[n.level] = true
+		t.forcedReinsert(n)
+		return
+	}
+	t.split(n)
+}
+
+// forcedReinsert removes the reinsertCount entries farthest from the
+// node's center and re-inserts them from the top.
+func (t *Tree) forcedReinsert(n *rnode) {
+	cx, cy := n.mbr().center()
+	sort.Slice(n.entries, func(i, j int) bool {
+		xi, yi := n.entries[i].rect.center()
+		xj, yj := n.entries[j].rect.center()
+		di := (xi-cx)*(xi-cx) + (yi-cy)*(yi-cy)
+		dj := (xj-cx)*(xj-cx) + (yj-cy)*(yj-cy)
+		return di < dj
+	})
+	cut := len(n.entries) - reinsertCount
+	removed := append([]entry(nil), n.entries[cut:]...)
+	n.entries = n.entries[:cut]
+	t.adjustUp(n)
+	for _, e := range removed {
+		t.insertEntry(e, n.level)
+	}
+}
+
+// adjustUp tightens the bounding rectangles on the path from n to the
+// root after n shrank (forced reinsert removed entries).
+func (t *Tree) adjustUp(n *rnode) {
+	for p := n.parent; p != nil; p = p.parent {
+		for i := range p.entries {
+			if p.entries[i].child == n {
+				p.entries[i].rect = n.mbr()
+				break
+			}
+		}
+		n = p
+	}
+}
+
+// split performs the R* topological split: choose the axis with minimum
+// total margin over candidate distributions, then the distribution with
+// minimum overlap (ties by area).
+func (t *Tree) split(n *rnode) {
+	axisEntries, splitIdx := chooseSplit(n.entries)
+	left := &rnode{leaf: n.leaf, level: n.level, entries: append([]entry(nil), axisEntries[:splitIdx]...)}
+	right := &rnode{leaf: n.leaf, level: n.level, entries: append([]entry(nil), axisEntries[splitIdx:]...)}
+
+	left.adopt()
+	right.adopt()
+
+	if n == t.root {
+		t.root = &rnode{
+			leaf:  false,
+			level: n.level + 1,
+			entries: []entry{
+				{rect: left.mbr(), child: left},
+				{rect: right.mbr(), child: right},
+			},
+		}
+		left.parent = t.root
+		right.parent = t.root
+		return
+	}
+	// Replace n with left in its parent and add right.
+	parent := n.parent
+	left.parent = parent
+	right.parent = parent
+	for i := range parent.entries {
+		if parent.entries[i].child == n {
+			parent.entries[i] = entry{rect: left.mbr(), child: left}
+			break
+		}
+	}
+	parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+	t.handleOverflow(parent)
+}
+
+// chooseSplit returns the entries sorted along the chosen axis and the
+// split index.
+func chooseSplit(entries []entry) ([]entry, int) {
+	byX := append([]entry(nil), entries...)
+	sort.Slice(byX, func(i, j int) bool {
+		if byX[i].rect.MinX != byX[j].rect.MinX {
+			return byX[i].rect.MinX < byX[j].rect.MinX
+		}
+		return byX[i].rect.MaxX < byX[j].rect.MaxX
+	})
+	byY := append([]entry(nil), entries...)
+	sort.Slice(byY, func(i, j int) bool {
+		if byY[i].rect.MinY != byY[j].rect.MinY {
+			return byY[i].rect.MinY < byY[j].rect.MinY
+		}
+		return byY[i].rect.MaxY < byY[j].rect.MaxY
+	})
+	mx := marginSum(byX)
+	my := marginSum(byY)
+	chosen := byX
+	if my < mx {
+		chosen = byY
+	}
+	// Pick the distribution with minimal overlap, ties by total area.
+	bestIdx, bestOverlap, bestArea := -1, math.Inf(1), math.Inf(1)
+	for k := minEntries; k <= len(chosen)-minEntries; k++ {
+		l := mbrOf(chosen[:k])
+		r := mbrOf(chosen[k:])
+		ov := l.overlap(r)
+		ar := l.area() + r.area()
+		if ov < bestOverlap || (ov == bestOverlap && ar < bestArea) {
+			bestIdx, bestOverlap, bestArea = k, ov, ar
+		}
+	}
+	return chosen, bestIdx
+}
+
+func marginSum(sorted []entry) float64 {
+	sum := 0.0
+	for k := minEntries; k <= len(sorted)-minEntries; k++ {
+		sum += mbrOf(sorted[:k]).margin() + mbrOf(sorted[k:]).margin()
+	}
+	return sum
+}
+
+func mbrOf(es []entry) Rect {
+	r := es[0].rect
+	for _, e := range es[1:] {
+		r = r.union(e.rect)
+	}
+	return r
+}
+
+// Search returns all points inside the window rectangle.
+func (t *Tree) Search(r Rect) []Point {
+	var out []Point
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		for _, e := range n.entries {
+			if !e.rect.intersects(r) {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.point)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Neighbor is one kNN result with its squared distance to the query.
+type Neighbor struct {
+	Point  Point
+	DistSq float64
+}
+
+// pq is a best-first priority queue over tree entries and points.
+type pqItem struct {
+	dist  float64
+	node  *rnode // interior item
+	point Point  // leaf item when node == nil
+	leaf  bool
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// KNN returns the k nearest stored points to (x, y) in ascending distance
+// order, fewer if the tree holds fewer than k points. It uses best-first
+// search, visiting only nodes that can contain a closer point.
+func (t *Tree) KNN(x, y float64, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &pq{}
+	heap.Push(h, pqItem{dist: 0, node: t.root})
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 && len(out) < k {
+		it := heap.Pop(h).(pqItem)
+		if it.leaf {
+			out = append(out, Neighbor{Point: it.point, DistSq: it.dist})
+			continue
+		}
+		for _, e := range it.node.entries {
+			d := e.rect.distSq(x, y)
+			if it.node.leaf {
+				heap.Push(h, pqItem{dist: d, point: e.point, leaf: true})
+			} else {
+				heap.Push(h, pqItem{dist: d, node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// Bounds returns the bounding rectangle of all stored points, or false
+// when empty.
+func (t *Tree) Bounds() (Rect, bool) {
+	if t.size == 0 {
+		return Rect{}, false
+	}
+	return t.root.mbr(), true
+}

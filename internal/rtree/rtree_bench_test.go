@@ -1,0 +1,41 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+	}
+}
+
+func BenchmarkKNN10(b *testing.B) {
+	tr := New()
+	for _, p := range randomPoints(50000, 2) {
+		tr.Insert(p)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := tr.KNN(rng.Float64()*1000, rng.Float64()*1000, 10)
+		if len(got) != 10 {
+			b.Fatalf("kNN returned %d", len(got))
+		}
+	}
+}
+
+func BenchmarkWindowSearch(b *testing.B) {
+	tr := New()
+	for _, p := range randomPoints(50000, 4) {
+		tr.Insert(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(Rect{400, 400, 450, 450})
+	}
+}

@@ -1,0 +1,245 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000, ID: fmt.Sprintf("p%d", i)}
+	}
+	return pts
+}
+
+// bruteKNN is the reference implementation used to validate the tree.
+func bruteKNN(pts []Point, x, y float64, k int) []Neighbor {
+	out := make([]Neighbor, 0, len(pts))
+	for _, p := range pts {
+		d := (p.X-x)*(p.X-x) + (p.Y-y)*(p.Y-y)
+		out = append(out, Neighbor{Point: p, DistSq: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DistSq < out[j].DistSq })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("empty len = %d", tr.Len())
+	}
+	if got := tr.KNN(0, 0, 5); got != nil {
+		t.Fatalf("KNN on empty tree = %v", got)
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Fatal("Bounds on empty tree should report absent")
+	}
+}
+
+func TestInsertAndLen(t *testing.T) {
+	tr := New()
+	pts := randomPoints(500, 1)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d, want 500", tr.Len())
+	}
+}
+
+func TestWindowSearchMatchesBruteForce(t *testing.T) {
+	tr := New()
+	pts := randomPoints(2000, 2)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	windows := []Rect{
+		{100, 100, 300, 300},
+		{0, 0, 1000, 1000},
+		{500, 500, 501, 501},
+		{-10, -10, -1, -1},
+	}
+	for _, w := range windows {
+		want := map[string]bool{}
+		for _, p := range pts {
+			if p.X >= w.MinX && p.X <= w.MaxX && p.Y >= w.MinY && p.Y <= w.MaxY {
+				want[p.ID] = true
+			}
+		}
+		got := tr.Search(w)
+		if len(got) != len(want) {
+			t.Fatalf("window %+v: got %d points, want %d", w, len(got), len(want))
+		}
+		for _, p := range got {
+			if !want[p.ID] {
+				t.Fatalf("window %+v returned point %s outside window", w, p.ID)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	tr := New()
+	pts := randomPoints(3000, 3)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for q := 0; q < 50; q++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		k := 1 + rng.Intn(20)
+		got := tr.KNN(x, y, k)
+		want := bruteKNN(pts, x, y, k)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d neighbours, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			// Distances must match (IDs can differ on exact ties).
+			if math.Abs(got[i].DistSq-want[i].DistSq) > 1e-9 {
+				t.Fatalf("query %d neighbour %d: dist %g, want %g", q, i, got[i].DistSq, want[i].DistSq)
+			}
+		}
+	}
+}
+
+func TestKNNSortedAscending(t *testing.T) {
+	tr := New()
+	for _, p := range randomPoints(1000, 5) {
+		tr.Insert(p)
+	}
+	got := tr.KNN(500, 500, 30)
+	for i := 1; i < len(got); i++ {
+		if got[i].DistSq < got[i-1].DistSq {
+			t.Fatalf("KNN results not sorted at %d", i)
+		}
+	}
+}
+
+func TestKNNMoreThanStored(t *testing.T) {
+	tr := New()
+	for _, p := range randomPoints(7, 6) {
+		tr.Insert(p)
+	}
+	got := tr.KNN(0, 0, 100)
+	if len(got) != 7 {
+		t.Fatalf("asked for 100 of 7 points, got %d", len(got))
+	}
+}
+
+func TestKNNZeroK(t *testing.T) {
+	tr := New()
+	tr.Insert(Point{X: 1, Y: 1, ID: "a"})
+	if got := tr.KNN(0, 0, 0); got != nil {
+		t.Fatalf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Point{X: 5, Y: 5, ID: fmt.Sprintf("d%d", i)})
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("len = %d, want 100", tr.Len())
+	}
+	got := tr.KNN(5, 5, 100)
+	if len(got) != 100 {
+		t.Fatalf("KNN over duplicates returned %d", len(got))
+	}
+	for _, n := range got {
+		if n.DistSq != 0 {
+			t.Fatalf("duplicate point at nonzero distance %g", n.DistSq)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := New()
+	tr.Insert(Point{X: -3, Y: 7, ID: "a"})
+	tr.Insert(Point{X: 12, Y: -1, ID: "b"})
+	b, ok := tr.Bounds()
+	if !ok {
+		t.Fatal("bounds missing")
+	}
+	want := Rect{-3, -1, 12, 7}
+	if b != want {
+		t.Fatalf("bounds = %+v, want %+v", b, want)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{0, 0, 10, 10}
+	if r.distSq(5, 5) != 0 {
+		t.Fatal("point inside rect should have zero distance")
+	}
+	if got := r.distSq(13, 14); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("distSq corner = %g, want 25", got)
+	}
+	if got := r.overlap(Rect{5, 5, 15, 15}); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("overlap = %g, want 25", got)
+	}
+	if r.overlap(Rect{20, 20, 30, 30}) != 0 {
+		t.Fatal("disjoint rects should not overlap")
+	}
+}
+
+// Property: 1-NN returned by the tree is never farther than any stored
+// point, for arbitrary inserted sets and query locations.
+func TestOneNNIsTrueMinimum(t *testing.T) {
+	f := func(coords []float64, qx, qy float64) bool {
+		if len(coords) < 2 || len(coords) > 300 {
+			return true
+		}
+		// Clamp everything to a range where squared distances cannot
+		// overflow; the tree itself does not guard against ±Inf products.
+		bound := func(v float64) (float64, bool) {
+			return v, !math.IsNaN(v) && math.Abs(v) < 1e6
+		}
+		var ok bool
+		if qx, ok = bound(qx); !ok {
+			return true
+		}
+		if qy, ok = bound(qy); !ok {
+			return true
+		}
+		tr := New()
+		pts := make([]Point, 0, len(coords)/2)
+		for i := 0; i+1 < len(coords); i += 2 {
+			x, okx := bound(coords[i])
+			y, oky := bound(coords[i+1])
+			if !okx || !oky {
+				continue
+			}
+			p := Point{X: x, Y: y, ID: fmt.Sprintf("q%d", i)}
+			pts = append(pts, p)
+			tr.Insert(p)
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		got := tr.KNN(qx, qy, 1)
+		if len(got) != 1 {
+			return false
+		}
+		best := math.Inf(1)
+		for _, p := range pts {
+			d := (p.X-qx)*(p.X-qx) + (p.Y-qy)*(p.Y-qy)
+			if d < best {
+				best = d
+			}
+		}
+		return math.Abs(got[0].DistSq-best) <= 1e-9*math.Max(1, best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Task is one schedulable unit of work (a map or reduce task). The
+// scheduler picks a node; the Run callback then executes the task "on"
+// that node and reports its virtual duration, which may depend on the
+// placement (local vs remote input, local vs remote index partitions).
+type Task struct {
+	// Preferred lists nodes where this task would run with locality (input
+	// chunk replicas for data locality, index partition hosts for the
+	// index-locality strategy). Empty means no preference.
+	Preferred []NodeID
+	// Run executes the task on the chosen node and returns its virtual
+	// duration in seconds. Run is called exactly once.
+	Run func(node NodeID) float64
+}
+
+// Assignment records where and when a task ran.
+type Assignment struct {
+	Task     int // index into the scheduled task slice
+	Node     NodeID
+	Start    float64
+	Duration float64
+	Local    bool // whether the task ran on one of its preferred nodes
+}
+
+// PhaseResult summarizes one scheduled phase (a map wave set or a reduce
+// wave set).
+type PhaseResult struct {
+	Makespan    float64
+	Assignments []Assignment
+	// Waves is the number of scheduling waves: ceil(tasks/slots) under
+	// uniform durations; reported for the adaptive optimizer, which
+	// collects statistics after the first wave.
+	Waves int
+	// LocalTasks counts tasks that ran with locality.
+	LocalTasks int
+}
+
+// slot is one execution slot on a node, ordered by the time it frees up.
+type slot struct {
+	node NodeID
+	free float64
+}
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].node < h[j].node
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// SchedulePhase runs all tasks on the cluster using slotsPerNode slots per
+// node. It emulates Hadoop's locality-preferring greedy scheduler: whenever
+// a slot frees on node n, it first looks for a pending task that prefers n,
+// and otherwise takes the oldest pending task (a remote/"rack-off"
+// assignment). Tasks execute (for real) inside the event loop, so their
+// measured virtual durations reflect the placement the scheduler chose.
+func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
+	res := PhaseResult{}
+	if len(tasks) == 0 {
+		return res
+	}
+	if slotsPerNode <= 0 {
+		slotsPerNode = 1
+	}
+
+	// Pending tasks indexed by preferred node for O(1) locality matching.
+	pending := make(map[int]bool, len(tasks))
+	byNode := make(map[NodeID][]int)
+	order := make([]int, len(tasks))
+	for i, t := range tasks {
+		pending[i] = true
+		order[i] = i
+		for _, n := range t.Preferred {
+			byNode[n] = append(byNode[n], i)
+		}
+	}
+	next := 0 // cursor into order for non-local pickup
+
+	h := make(slotHeap, 0, c.cfg.Nodes*slotsPerNode)
+	for n := 0; n < c.cfg.Nodes; n++ {
+		for s := 0; s < slotsPerNode; s++ {
+			h = append(h, slot{node: NodeID(n), free: 0})
+		}
+	}
+	heap.Init(&h)
+
+	totalSlots := c.cfg.Nodes * slotsPerNode
+	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
+	res.Assignments = make([]Assignment, 0, len(tasks))
+
+	scheduled := 0
+	for scheduled < len(tasks) {
+		s := heap.Pop(&h).(slot)
+
+		// Locality first: a pending task that prefers this slot's node.
+		ti := -1
+		local := false
+		queue := byNode[s.node]
+		for len(queue) > 0 {
+			cand := queue[0]
+			queue = queue[1:]
+			if pending[cand] {
+				ti = cand
+				local = true
+				break
+			}
+		}
+		byNode[s.node] = queue
+		if ti < 0 {
+			for next < len(order) && !pending[order[next]] {
+				next++
+			}
+			if next >= len(order) {
+				// All remaining tasks are already taken: shouldn't happen
+				// because pending count drives the loop.
+				break
+			}
+			ti = order[next]
+			local = ContainsNode(tasks[ti].Preferred, s.node)
+		}
+
+		pending[ti] = false
+		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node)) / c.cfg.SpeedOf(s.node)
+		a := Assignment{Task: ti, Node: s.node, Start: s.free, Duration: dur, Local: local}
+		res.Assignments = append(res.Assignments, a)
+		if local {
+			res.LocalTasks++
+		}
+		end := s.free + dur
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		heap.Push(&h, slot{node: s.node, free: end})
+		scheduled++
+	}
+
+	sort.Slice(res.Assignments, func(i, j int) bool {
+		if res.Assignments[i].Start != res.Assignments[j].Start {
+			return res.Assignments[i].Start < res.Assignments[j].Start
+		}
+		return res.Assignments[i].Task < res.Assignments[j].Task
+	})
+	return res
+}
+
+// FirstWave returns the task indices that belong to the first scheduling
+// wave (the first min(len(tasks), slots) assignments by start time). The
+// adaptive optimizer uses it to decide which tasks' statistics are
+// available at re-optimization time.
+func (r PhaseResult) FirstWave(slots int) []int {
+	n := slots
+	if n > len(r.Assignments) {
+		n = len(r.Assignments)
+	}
+	out := make([]int, 0, n)
+	for _, a := range r.Assignments[:n] {
+		out = append(out, a.Task)
+	}
+	return out
+}

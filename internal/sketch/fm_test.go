@@ -1,0 +1,100 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestEmptyEstimateZero(t *testing.T) {
+	f := New(64)
+	if got := f.Estimate(); got != 0 {
+		t.Fatalf("empty sketch estimate = %g, want 0", got)
+	}
+}
+
+func TestEstimateWithinFactor(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		f := New(64)
+		for i := 0; i < n; i++ {
+			f.Add(fmt.Sprintf("key-%d", i))
+		}
+		got := f.Estimate()
+		if got < float64(n)/2 || got > float64(n)*2 {
+			t.Fatalf("n=%d: estimate %g outside [n/2, 2n]", n, got)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	f := New(64)
+	for i := 0; i < 100; i++ {
+		for rep := 0; rep < 50; rep++ {
+			f.Add(fmt.Sprintf("key-%d", i))
+		}
+	}
+	g := New(64)
+	for i := 0; i < 100; i++ {
+		g.Add(fmt.Sprintf("key-%d", i))
+	}
+	if math.Abs(f.Estimate()-g.Estimate()) > 1e-9 {
+		t.Fatalf("duplicates changed the estimate: %g vs %g", f.Estimate(), g.Estimate())
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	a, b, u := New(32), New(32), New(32)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("a-%d", i)
+		a.Add(k)
+		u.Add(k)
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("b-%d", i)
+		b.Add(k)
+		u.Add(k)
+	}
+	a.Merge(b)
+	if math.Abs(a.Estimate()-u.Estimate()) > 1e-9 {
+		t.Fatalf("merge != union: %g vs %g", a.Estimate(), u.Estimate())
+	}
+}
+
+func TestMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width mismatch")
+		}
+	}()
+	New(8).Merge(New(16))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(16)
+	a.Add("x")
+	c := a.Clone()
+	c.Add("y")
+	c.Add("z")
+	if a.Estimate() >= c.Estimate() && a.Estimate() != c.Estimate() {
+		t.Fatalf("clone mutated original? a=%g c=%g", a.Estimate(), c.Estimate())
+	}
+}
+
+func TestVectorsRoundTrip(t *testing.T) {
+	a := New(16)
+	for i := 0; i < 200; i++ {
+		a.Add(fmt.Sprintf("k%d", i))
+	}
+	b := FromVectors(a.Vectors())
+	if a.Estimate() != b.Estimate() {
+		t.Fatalf("round trip changed estimate: %g vs %g", a.Estimate(), b.Estimate())
+	}
+}
+
+func TestNewClampsWidth(t *testing.T) {
+	f := New(0)
+	f.Add("x")
+	if f.Estimate() <= 0 {
+		t.Fatal("clamped sketch should still count")
+	}
+}

@@ -1,0 +1,253 @@
+package tpch
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"efind/internal/core"
+	"efind/internal/mapreduce"
+)
+
+// field appends a lookup result field to a record value.
+func firstValue(results []core.KeyResult) (string, bool) {
+	if len(results) == 0 || len(results[0].Values) == 0 {
+		return "", false
+	}
+	return results[0].Values[0], true
+}
+
+// Q3Conf composes TPC-H Q3 as an EFind job: LineItem (main input) joins
+// Orders then Customer via index lookups, following MySQL's join order;
+// Map emits (l_orderkey, o_orderdate, o_shippriority) → revenue and Reduce
+// sums. Filters: l_shipdate > cutoff, o_orderdate < cutoff, c_mktsegment =
+// 'BUILDING'.
+func (w *Workload) Q3Conf(name string, mode core.Mode) *core.IndexJobConf {
+	ordersOp := core.NewOperator("q3-orders",
+		func(in core.Pair) core.PreResult {
+			li, ok := ParseLineItem(in.Value)
+			if !ok || li.ShipDate <= Q3DateCutoff {
+				return core.PreResult{Pair: in} // filtered: no lookup
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{li.OrderKey}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			li, ok := ParseLineItem(pair.Value)
+			if !ok || li.ShipDate <= Q3DateCutoff {
+				return
+			}
+			order, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			f := strings.Split(order, "|") // custkey|orderdate|prio
+			if len(f) != 3 {
+				return
+			}
+			orderDate, err := strconv.Atoi(f[1])
+			if err != nil || orderDate >= Q3DateCutoff {
+				return
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "|" + f[0] + "|" + f[1] + "|" + f[2]})
+		})
+	ordersOp.AddIndex(w.Orders)
+
+	customerOp := core.NewOperator("q3-customer",
+		func(in core.Pair) core.PreResult {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 10 {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{f[7]}}} // custkey
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			cust, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			if seg := strings.SplitN(cust, "|", 2)[0]; seg != "BUILDING" {
+				return
+			}
+			emit(pair)
+		})
+	customerOp.AddIndex(w.Customer)
+
+	conf := &core.IndexJobConf{
+		Name:  name,
+		Input: w.Input,
+		Mode:  mode,
+		Mapper: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 10 {
+				return
+			}
+			li, ok := ParseLineItem(strings.Join(f[:7], "|"))
+			if !ok {
+				return
+			}
+			emit(core.Pair{
+				Key:   f[0] + "|" + f[8] + "|" + f[9], // orderkey|orderdate|prio
+				Value: strconv.Itoa(li.Revenue()),
+			})
+		},
+		Reducer: sumReducer,
+	}
+	conf.AddHeadIndexOperator(ordersOp)
+	conf.AddHeadIndexOperator(customerOp)
+	return conf
+}
+
+// Q3RepartTarget names the operator/index pair the paper hand-picks for
+// Q3's forced re-partitioning runs ("the index with the most benefits":
+// Orders).
+func (w *Workload) Q3RepartTarget() (op, ix string) { return "q3-orders", w.Orders.Name() }
+
+// Q9Conf composes TPC-H Q9: LineItem joins Supplier, Part (with the
+// p_name LIKE '%green%' filter), PartSupp, Orders, and finally Nation, in
+// MySQL's join order; Map emits (nation, year) → profit amount and Reduce
+// sums.
+func (w *Workload) Q9Conf(name string, mode core.Mode) *core.IndexJobConf {
+	supplierOp := core.NewOperator("q9-supplier",
+		func(in core.Pair) core.PreResult {
+			li, ok := ParseLineItem(in.Value)
+			if !ok {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{li.SuppKey}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			supp, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			nation := strings.SplitN(supp, "|", 2)[0]
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "|" + nation})
+		})
+	supplierOp.AddIndex(w.Supplier)
+
+	partOp := core.NewOperator("q9-part",
+		func(in core.Pair) core.PreResult {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 8 {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{f[1]}}} // partkey
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			part, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			name := strings.SplitN(part, "|", 2)[0]
+			if !strings.Contains(name, "green") {
+				return
+			}
+			emit(pair)
+		})
+	partOp.AddIndex(w.Part)
+
+	partSuppOp := core.NewOperator("q9-partsupp",
+		func(in core.Pair) core.PreResult {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 8 {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{f[1] + ":" + f[2]}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			cost, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "|" + cost})
+		})
+	partSuppOp.AddIndex(w.PartSupp)
+
+	ordersOp := core.NewOperator("q9-orders",
+		func(in core.Pair) core.PreResult {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 9 {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{f[0]}}} // orderkey
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			order, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			f := strings.Split(order, "|")
+			if len(f) != 3 {
+				return
+			}
+			date, err := strconv.Atoi(f[1])
+			if err != nil {
+				return
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "|" + strconv.Itoa(1992+date/365)})
+		})
+	ordersOp.AddIndex(w.Orders)
+
+	nationOp := core.NewOperator("q9-nation",
+		func(in core.Pair) core.PreResult {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 10 {
+				return core.PreResult{Pair: in}
+			}
+			return core.PreResult{Pair: in, Keys: [][]string{{f[7]}}} // nationkey
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			nation, ok := firstValue(results[0])
+			if !ok {
+				return
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "|" + nation})
+		})
+	nationOp.AddIndex(w.Nation)
+
+	conf := &core.IndexJobConf{
+		Name:  name,
+		Input: w.Input,
+		Mode:  mode,
+		Mapper: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			f := strings.Split(in.Value, "|")
+			if len(f) != 11 {
+				return
+			}
+			li, ok := ParseLineItem(strings.Join(f[:7], "|"))
+			if !ok {
+				return
+			}
+			cost, err := strconv.Atoi(f[8])
+			if err != nil {
+				return
+			}
+			amount := li.Revenue() - cost*li.Quantity
+			emit(core.Pair{Key: f[10] + "|" + f[9], Value: strconv.Itoa(amount)})
+		},
+		Reducer: sumReducer,
+	}
+	conf.AddHeadIndexOperator(supplierOp)
+	conf.AddHeadIndexOperator(partOp)
+	conf.AddHeadIndexOperator(partSuppOp)
+	conf.AddHeadIndexOperator(ordersOp)
+	conf.AddHeadIndexOperator(nationOp)
+	return conf
+}
+
+// Q9RepartTarget names the operator/index pair the paper hand-picks for
+// Q9's forced re-partitioning runs (Supplier).
+func (w *Workload) Q9RepartTarget() (op, ix string) { return "q9-supplier", w.Supplier.Name() }
+
+// sumReducer sums integer values per group.
+func sumReducer(_ *mapreduce.TaskContext, key string, values []string, emit core.Emit) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	emit(core.Pair{Key: key, Value: fmt.Sprintf("%d", total)})
+}

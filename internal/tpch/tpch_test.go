@@ -1,0 +1,380 @@
+package tpch
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efind/internal/core"
+	"efind/internal/dfs"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+)
+
+type env struct {
+	cluster *sim.Cluster
+	fs      *dfs.FS
+	rt      *core.Runtime
+	w       *Workload
+}
+
+func setup(t *testing.T, sf float64, dup int) *env {
+	t.Helper()
+	c := DefaultConfig()
+	c.ScaleFactor = sf
+	c.DupFactor = dup
+	return setupCfg(t, c)
+}
+
+func setupCfg(t *testing.T, c Config) *env {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 6
+	cfg.MapSlotsPerNode = 2
+	cfg.ReduceSlotsPerNode = 2
+	cfg.TaskStartup = 0.05
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 16 << 10
+	rt := core.NewRuntime(mapreduce.New(cluster, fs))
+
+	w, err := Setup(fs, "lineitem", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cluster: cluster, fs: fs, rt: rt, w: w}
+}
+
+func TestSetupShapes(t *testing.T) {
+	e := setup(t, 1, 1)
+	if e.w.NumOrders != 1500 || e.w.NumSuppliers != 10 || e.w.NumParts != 200 {
+		t.Fatalf("row counts off: %+v", e.w)
+	}
+	// Average ~4 lineitems per order.
+	if e.w.Input.Records() < 3*e.w.NumOrders || e.w.Input.Records() > 6*e.w.NumOrders {
+		t.Fatalf("lineitems = %d for %d orders", e.w.Input.Records(), e.w.NumOrders)
+	}
+	// Orders index holds every order.
+	if e.w.Orders.Len() != 1500 {
+		t.Fatalf("orders index = %d", e.w.Orders.Len())
+	}
+	if e.w.Nation.Len() != 25 {
+		t.Fatalf("nations = %d", e.w.Nation.Len())
+	}
+	// LineItems of one order are consecutive (cache locality driver).
+	recs := e.w.Input.All()
+	lastOrder, seen := "", map[string]bool{}
+	for _, r := range recs {
+		li, ok := ParseLineItem(r.Value)
+		if !ok {
+			t.Fatalf("bad lineitem %q", r.Value)
+		}
+		if li.OrderKey != lastOrder {
+			if seen[li.OrderKey] {
+				t.Fatalf("order %s not consecutive", li.OrderKey)
+			}
+			seen[li.OrderKey] = true
+			lastOrder = li.OrderKey
+		}
+	}
+}
+
+func TestDupFactor(t *testing.T) {
+	plain := setup(t, 0.5, 1)
+	dup := setup(t, 0.5, 10)
+	if dup.w.Input.Records() != 10*plain.w.Input.Records() {
+		t.Fatalf("DUP10 should have 10x records: %d vs %d", dup.w.Input.Records(), plain.w.Input.Records())
+	}
+	// All duplicated record keys must be distinct.
+	seen := map[string]bool{}
+	for _, r := range dup.w.Input.All() {
+		if seen[r.Key] {
+			t.Fatalf("duplicate key %q", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestTotalLookupsSumsStores(t *testing.T) {
+	e := setup(t, 0.5, 1)
+	e.w.ResetIndexStats()
+	if got := e.w.TotalLookups(); got != 0 {
+		t.Fatalf("fresh total = %d", got)
+	}
+	e.w.Orders.Lookup(orderKey(0))
+	e.w.Supplier.Lookup(suppKey(0))
+	if got := e.w.TotalLookups(); got != 2 {
+		t.Fatalf("total = %d, want 2", got)
+	}
+}
+
+func TestSetupRejectsBadScale(t *testing.T) {
+	fs := dfs.New(sim.NewCluster(sim.DefaultConfig()))
+	if _, err := Setup(fs, "x", Config{ScaleFactor: 0}); err == nil {
+		t.Fatal("zero scale should fail")
+	}
+}
+
+func TestParseLineItemRoundTrip(t *testing.T) {
+	li, ok := ParseLineItem("O0000001|P000002|S00003|10|5000|5|700")
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if li.OrderKey != "O0000001" || li.Quantity != 10 || li.ShipDate != 700 {
+		t.Fatalf("parsed %+v", li)
+	}
+	if li.Revenue() != 4750 {
+		t.Fatalf("revenue = %d, want 4750", li.Revenue())
+	}
+	if _, ok := ParseLineItem("garbage"); ok {
+		t.Fatal("garbage should not parse")
+	}
+}
+
+// runQ3 runs Q3 under one mode/strategy and returns sorted output lines.
+func runQ3(t *testing.T, e *env, label string, mode core.Mode, strat core.Strategy, force bool) ([]string, float64) {
+	t.Helper()
+	conf := e.w.Q3Conf("q3-"+label, mode)
+	if force {
+		op, ix := e.w.Q3RepartTarget()
+		conf.ForceStrategy(op, ix, strat)
+	}
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	var out []string
+	for _, r := range res.Output.All() {
+		out = append(out, r.Key+" "+r.Value)
+	}
+	sort.Strings(out)
+	return out, res.VTime
+}
+
+func TestQ3CorrectAcrossStrategies(t *testing.T) {
+	e := setup(t, 1, 1)
+	base, _ := runQ3(t, e, "base", core.ModeBaseline, 0, false)
+	if len(base) == 0 {
+		t.Fatal("Q3 produced no results; filters too strict?")
+	}
+
+	// Independent reference: compute Q3 directly over the tables.
+	want := map[string]int{}
+	for _, r := range e.w.Input.All() {
+		li, _ := ParseLineItem(r.Value)
+		if li.ShipDate <= Q3DateCutoff {
+			continue
+		}
+		ov, _ := e.w.Orders.Lookup(li.OrderKey)
+		f := strings.Split(ov[0], "|")
+		date, _ := strconv.Atoi(f[1])
+		if date >= Q3DateCutoff {
+			continue
+		}
+		cv, _ := e.w.Customer.Lookup(f[0])
+		if strings.SplitN(cv[0], "|", 2)[0] != "BUILDING" {
+			continue
+		}
+		want[li.OrderKey+"|"+f[1]+"|"+f[2]] += li.Revenue()
+	}
+	if len(want) != len(base) {
+		t.Fatalf("Q3 groups = %d, reference = %d", len(base), len(want))
+	}
+	for _, line := range base {
+		parts := strings.SplitN(line, " ", 2)
+		if got := strconv.Itoa(want[parts[0]]); got != parts[1] {
+			t.Fatalf("group %s: got %s, want %s", parts[0], parts[1], got)
+		}
+	}
+
+	cache, _ := runQ3(t, e, "cache", core.ModeCache, 0, false)
+	repart, _ := runQ3(t, e, "repart", core.ModeCustom, core.Repartition, true)
+	idxloc, _ := runQ3(t, e, "idxloc", core.ModeCustom, core.IndexLocality, true)
+	for label, got := range map[string][]string{"cache": cache, "repart": repart, "idxloc": idxloc} {
+		if len(got) != len(base) {
+			t.Fatalf("%s output size %d != %d", label, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("%s differs at %d: %q vs %q", label, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestQ3CacheEffective(t *testing.T) {
+	e := setup(t, 2, 1)
+	e.w.ResetIndexStats()
+	runQ3(t, e, "lbase", core.ModeBaseline, 0, false)
+	baseLookups := e.w.Orders.Lookups()
+
+	e.w.ResetIndexStats()
+	runQ3(t, e, "lcache", core.ModeCache, 0, false)
+	cacheLookups := e.w.Orders.Lookups()
+
+	// LineItems of one order are consecutive: the cache should absorb
+	// most repeats (~4 rows/order → ~75% hit rate).
+	if float64(cacheLookups) > 0.55*float64(baseLookups) {
+		t.Fatalf("cache ineffective on Q3 orders: %d vs %d lookups", cacheLookups, baseLookups)
+	}
+}
+
+func TestQ9CorrectAndSupplierRedundancy(t *testing.T) {
+	e := setup(t, 1, 1)
+	conf := e.w.Q9Conf("q9-base", core.ModeBaseline)
+	e.w.ResetIndexStats()
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output.All()
+	if len(out) == 0 {
+		t.Fatal("Q9 produced no groups")
+	}
+	// Group keys look like NATION|year.
+	for _, r := range out {
+		f := strings.Split(r.Key, "|")
+		if len(f) != 2 {
+			t.Fatalf("bad group key %q", r.Key)
+		}
+		year, err := strconv.Atoi(f[1])
+		if err != nil || year < 1992 || year > 1999 {
+			t.Fatalf("bad year in %q", r.Key)
+		}
+	}
+	// Supplier sees one lookup per lineitem under baseline.
+	if e.w.Supplier.Lookups() != int64(e.w.Input.Records()) {
+		t.Fatalf("supplier lookups = %d, want %d", e.w.Supplier.Lookups(), e.w.Input.Records())
+	}
+
+	// Repart on supplier collapses them to ~distinct suppliers.
+	e.w.ResetIndexStats()
+	conf2 := e.w.Q9Conf("q9-repart", core.ModeCustom)
+	op, ix := e.w.Q9RepartTarget()
+	conf2.ForceStrategy(op, ix, core.Repartition)
+	res2, err := e.rt.Submit(conf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One lookup per distinct supplier plus one per chunk boundary that
+	// splits a key run (shards larger than a chunk are split for map
+	// parallelism); still a tiny fraction of the baseline's one-per-row.
+	if got := e.w.Supplier.Lookups(); got > int64(e.w.Input.Records()/20) {
+		t.Fatalf("repart supplier lookups = %d, want ≪ %d", got, e.w.Input.Records())
+	}
+
+	// Outputs identical.
+	a, b := sortedRecords(res.Output), sortedRecords(res2.Output)
+	if len(a) != len(b) {
+		t.Fatalf("Q9 outputs differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Q9 outputs differ at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func sortedRecords(f *dfs.File) []string {
+	var out []string
+	for _, r := range f.All() {
+		out = append(out, r.Key+" "+r.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQ9MatchesReferenceJoin recomputes Q9 directly over the tables and
+// compares every group's profit with the EFind job's output.
+func TestQ9MatchesReferenceJoin(t *testing.T) {
+	e := setup(t, 1, 1)
+	res, err := e.rt.Submit(e.w.Q9Conf("q9-ref-run", core.ModeBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]int{}
+	for _, r := range e.w.Input.All() {
+		li, ok := ParseLineItem(r.Value)
+		if !ok {
+			t.Fatalf("bad lineitem %q", r.Value)
+		}
+		sup, _ := e.w.Supplier.Lookup(li.SuppKey)
+		nationKey := strings.SplitN(sup[0], "|", 2)[0]
+		part, _ := e.w.Part.Lookup(li.PartKey)
+		name := strings.SplitN(part[0], "|", 2)[0]
+		if !strings.Contains(name, "green") {
+			continue
+		}
+		ps, _ := e.w.PartSupp.Lookup(li.PartKey + ":" + li.SuppKey)
+		cost, _ := strconv.Atoi(ps[0])
+		ord, _ := e.w.Orders.Lookup(li.OrderKey)
+		date, _ := strconv.Atoi(strings.Split(ord[0], "|")[1])
+		nation, _ := e.w.Nation.Lookup(nationKey)
+		group := nation[0] + "|" + strconv.Itoa(1992+date/365)
+		want[group] += li.Revenue() - cost*li.Quantity
+	}
+
+	got := map[string]int{}
+	for _, r := range res.Output.All() {
+		n, err := strconv.Atoi(r.Value)
+		if err != nil {
+			t.Fatalf("bad amount %q", r.Value)
+		}
+		got[r.Key] = n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups: got %d, want %d", len(got), len(want))
+	}
+	for g, amount := range want {
+		if got[g] != amount {
+			t.Fatalf("group %s: got %d, want %d", g, got[g], amount)
+		}
+	}
+}
+
+func TestQ9OptimizedPicksShuffleForSupplier(t *testing.T) {
+	// Preserve the paper's structural property: distinct suppliers well
+	// above the 1024-entry cache, with expensive lookups relative to the
+	// shuffle, so the supplier cache is useless and re-partitioning wins.
+	c := DefaultConfig()
+	c.ScaleFactor = 4
+	c.SupplierScale = 75 // 3000 suppliers ≫ 1024-entry cache
+	c.ServeTime = 0.001
+	e := setupCfg(t, c)
+	statsConf := e.w.Q9Conf("q9-stats", core.ModeBaseline)
+	if err := e.rt.CollectStats(statsConf); err != nil {
+		t.Fatal(err)
+	}
+	st := e.rt.Catalog.Get("q9-supplier")
+	if st == nil {
+		t.Fatal("no supplier stats")
+	}
+	is := st.Index[e.w.Supplier.Name()]
+	if is.Theta < 3 {
+		t.Fatalf("supplier Θ = %g, expected several lineitems per supplier", is.Theta)
+	}
+	if is.R < 0.3 {
+		t.Fatalf("supplier cache miss ratio R = %g; should be high with 3000 suppliers vs 1024 cache entries", is.R)
+	}
+
+	conf := e.w.Q9Conf("q9-opt", core.ModeOptimized)
+	res, err := e.rt.Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var supplierPlan *core.OperatorPlan
+	for i := range res.Plan.Head {
+		if res.Plan.Head[i].Op.Name() == "q9-supplier" {
+			supplierPlan = &res.Plan.Head[i]
+		}
+	}
+	if supplierPlan == nil {
+		t.Fatal("supplier plan missing")
+	}
+	s := supplierPlan.Decisions[0].Strategy
+	if s != core.Repartition && s != core.IndexLocality {
+		t.Fatalf("optimizer chose %v for supplier; expected a shuffle strategy (plan %v)", s, res.Plan)
+	}
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"efind/internal/dfs"
+	"efind/internal/sim"
+)
+
+func newFS() *dfs.FS {
+	fs := dfs.New(sim.NewCluster(sim.DefaultConfig()))
+	fs.ChunkTarget = 32 << 10
+	return fs
+}
+
+func TestGenerateLogShape(t *testing.T) {
+	fs := newFS()
+	cfg := DefaultLogConfig()
+	cfg.Events = 5000
+	f, err := GenerateLog(fs, "log", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != 5000 {
+		t.Fatalf("events = %d", f.Records())
+	}
+	// Every record parses; IPs repeat (sessions) and appear in multiple
+	// chunks (server interleaving).
+	ipCount := map[string]int{}
+	ipChunks := map[string]map[int]bool{}
+	for ci, ch := range f.Chunks {
+		for _, r := range ch.Records {
+			ip, url, ts, ok := ParseLogValue(r.Value)
+			if !ok {
+				t.Fatalf("unparseable record %q", r.Value)
+			}
+			if ip == "" || url == "" || ts == 0 {
+				t.Fatalf("empty fields in %q", r.Value)
+			}
+			ipCount[ip]++
+			if ipChunks[ip] == nil {
+				ipChunks[ip] = map[int]bool{}
+			}
+			ipChunks[ip][ci] = true
+		}
+	}
+	repeated, crossChunk := 0, 0
+	for ip, n := range ipCount {
+		if n > 1 {
+			repeated++
+		}
+		if len(ipChunks[ip]) > 1 {
+			crossChunk++
+		}
+	}
+	if repeated < len(ipCount)/2 {
+		t.Fatalf("too few repeated IPs: %d of %d", repeated, len(ipCount))
+	}
+	if len(f.Chunks) > 1 && crossChunk == 0 {
+		t.Fatal("no IP spans chunks: cross-machine redundancy missing")
+	}
+}
+
+func TestGenerateLogDeterministic(t *testing.T) {
+	cfg := DefaultLogConfig()
+	cfg.Events = 1000
+	a, err := GenerateLog(newFS(), "log", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateLog(newFS(), "log", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.All(), b.All()
+	if len(ra) != len(rb) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("nondeterministic record %d", i)
+		}
+	}
+}
+
+func TestGenerateLogRejectsEmpty(t *testing.T) {
+	if _, err := GenerateLog(newFS(), "log", LogConfig{}); err == nil {
+		t.Fatal("empty config should fail")
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	fs := newFS()
+	cfg := DefaultSyntheticConfig()
+	cfg.Records = 2000
+	cfg.KeyDomain = 1000
+	cfg.ValueSize = 64
+	cfg.IndexValueSize = 128
+	f, store, err := GenerateSynthetic(fs, "syn", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != 2000 {
+		t.Fatalf("records = %d", f.Records())
+	}
+	// Every record's key resolves in the index with an l-sized value.
+	for _, r := range f.All()[:100] {
+		k := SyntheticKey(r.Value)
+		vals, err := store.Lookup(k)
+		if err != nil || len(vals) != 1 {
+			t.Fatalf("key %q lookup = %v, %v", k, vals, err)
+		}
+		if len(vals[0]) != 128 {
+			t.Fatalf("index value size = %d, want 128", len(vals[0]))
+		}
+	}
+	if store.Len() > 1000 || store.Len() < 800 {
+		t.Fatalf("distinct keys in index = %d, want ≈(1-1/e)·1000", store.Len())
+	}
+}
+
+func TestSyntheticKeyParsing(t *testing.T) {
+	if got := SyntheticKey("00001234 " + strings.Repeat("x", 10)); got != "00001234" {
+		t.Fatalf("key = %q", got)
+	}
+	if got := SyntheticKey("nospacehere"); got != "nospacehere" {
+		t.Fatalf("degenerate key = %q", got)
+	}
+}
+
+func TestGenerateSpatialPoints(t *testing.T) {
+	cfg := DefaultSpatialConfig()
+	cfg.Points = 3000
+	pts := GenerateSpatialPoints(cfg)
+	if len(pts) != 3000 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	ids := map[string]bool{}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= cfg.Extent || p.Y < 0 || p.Y >= cfg.Extent {
+			t.Fatalf("point %v outside extent", p)
+		}
+		if ids[p.ID] {
+			t.Fatalf("duplicate id %s", p.ID)
+		}
+		ids[p.ID] = true
+		x, y, ok := ParseSpatialValue(p.Value())
+		if !ok {
+			t.Fatalf("unparseable value %q", p.Value())
+		}
+		if ax, ay := x-p.X, y-p.Y; ax > 0.001 || ax < -0.001 || ay > 0.001 || ay < -0.001 {
+			t.Fatalf("round trip drift: %v vs (%g,%g)", p, x, y)
+		}
+	}
+}
+
+func TestSpatialClustering(t *testing.T) {
+	// Clustered generation should be visibly non-uniform: the densest 10%
+	// of a coarse grid should hold far more than 10% of points.
+	cfg := DefaultSpatialConfig()
+	cfg.Points = 10000
+	pts := GenerateSpatialPoints(cfg)
+	const g = 10
+	var cells [g][g]int
+	for _, p := range pts {
+		cx := int(p.X / cfg.Extent * g)
+		cy := int(p.Y / cfg.Extent * g)
+		cells[cx][cy]++
+	}
+	counts := make([]int, 0, g*g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			counts = append(counts, cells[i][j])
+		}
+	}
+	maxCell := 0
+	for _, c := range counts {
+		if c > maxCell {
+			maxCell = c
+		}
+	}
+	if maxCell < len(pts)/20 {
+		t.Fatalf("densest cell has %d of %d points; expected clustering", maxCell, len(pts))
+	}
+}
+
+func TestWriteSpatial(t *testing.T) {
+	fs := newFS()
+	pts := GenerateSpatialPoints(SpatialConfig{Points: 500, Extent: 100, Clusters: 4, Seed: 3})
+	f, err := WriteSpatial(fs, "pts", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != 500 {
+		t.Fatalf("records = %d", f.Records())
+	}
+}

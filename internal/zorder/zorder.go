@@ -1,0 +1,118 @@
+// Package zorder implements the Z-order (Morton) space-filling curve used
+// by the hand-tuned H-zkNNJ comparator (Zhang, Li, Jestes — EDBT 2012):
+// 2-D points are interleaved into a single 64-bit key whose ordering
+// approximately preserves spatial proximity, letting a kNN join run as
+// sorted range scans over shifted copies of the data.
+package zorder
+
+// Encode interleaves the bits of x and y (each using their low 32 bits)
+// into a 64-bit Morton code: bit i of x lands at position 2i, bit i of y
+// at position 2i+1.
+func Encode(x, y uint32) uint64 {
+	return spread(uint64(x)) | spread(uint64(y))<<1
+}
+
+// Decode splits a Morton code back into its x and y components.
+func Decode(z uint64) (x, y uint32) {
+	return compact(z), compact(z >> 1)
+}
+
+// spread inserts a zero bit between each of the low 32 bits of v.
+func spread(v uint64) uint64 {
+	v &= 0xFFFFFFFF
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact is the inverse of spread: it extracts every other bit.
+func compact(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v>>4) & 0x00FF00FF00FF00FF
+	v = (v | v>>8) & 0x0000FFFF0000FFFF
+	v = (v | v>>16) & 0x00000000FFFFFFFF
+	return uint32(v)
+}
+
+// Grid quantizes continuous coordinates in [minX,maxX]×[minY,maxY] onto a
+// 2^bits × 2^bits grid for Morton encoding.
+type Grid struct {
+	MinX, MinY float64
+	MaxX, MaxY float64
+	Bits       uint // grid resolution per dimension, at most 32
+}
+
+// NewGrid builds a quantization grid; bits is clamped to [1, 32] and a
+// degenerate extent is widened so division is safe.
+func NewGrid(minX, minY, maxX, maxY float64, bits uint) Grid {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	if maxX <= minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	return Grid{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY, Bits: bits}
+}
+
+// Cells returns the number of cells per dimension.
+func (g Grid) Cells() uint32 {
+	if g.Bits >= 32 {
+		return 0xFFFFFFFF
+	}
+	return uint32(1)<<g.Bits - 1
+}
+
+// Quantize maps continuous coordinates to grid cell indices, clamping
+// out-of-range points to the boundary cells.
+func (g Grid) Quantize(x, y float64) (uint32, uint32) {
+	n := float64(g.Cells())
+	qx := (x - g.MinX) / (g.MaxX - g.MinX) * n
+	qy := (y - g.MinY) / (g.MaxY - g.MinY) * n
+	return clamp(qx, n), clamp(qy, n)
+}
+
+func clamp(v, max float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > max {
+		return uint32(max)
+	}
+	return uint32(v)
+}
+
+// ZValue quantizes and Morton-encodes a point in one step.
+func (g Grid) ZValue(x, y float64) uint64 {
+	qx, qy := g.Quantize(x, y)
+	return Encode(qx, qy)
+}
+
+// ShiftedZValue computes the z-value of a point after adding the random
+// shift (dx, dy) used by H-zkNNJ's α shifted copies; shifts wrap within
+// the grid extent so every shifted point stays encodable.
+func (g Grid) ShiftedZValue(x, y, dx, dy float64) uint64 {
+	sx := g.MinX + wrap(x+dx-g.MinX, g.MaxX-g.MinX)
+	sy := g.MinY + wrap(y+dy-g.MinY, g.MaxY-g.MinY)
+	return g.ZValue(sx, sy)
+}
+
+func wrap(v, extent float64) float64 {
+	for v < 0 {
+		v += extent
+	}
+	for v >= extent {
+		v -= extent
+	}
+	return v
+}

@@ -1,0 +1,22 @@
+package zorder
+
+import "testing"
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint32(i), uint32(i*7))
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Decode(uint64(i) * 2654435761)
+	}
+}
+
+func BenchmarkGridZValue(b *testing.B) {
+	g := NewGrid(0, 0, 1000, 1000, 16)
+	for i := 0; i < b.N; i++ {
+		g.ZValue(float64(i%1000), float64((i*7)%1000))
+	}
+}

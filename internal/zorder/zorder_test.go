@@ -1,0 +1,123 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Decode(Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	cases := []struct {
+		x, y uint32
+		z    uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 1},
+		{0, 1, 2},
+		{1, 1, 3},
+		{2, 0, 4},
+		{3, 3, 15},
+		{0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+	}
+	for _, c := range cases {
+		if got := Encode(c.x, c.y); got != c.z {
+			t.Fatalf("Encode(%d,%d) = %d, want %d", c.x, c.y, got, c.z)
+		}
+	}
+}
+
+func TestZOrderMonotoneAlongAxes(t *testing.T) {
+	// Along either axis with the other fixed at 0, z-values must increase.
+	prev := uint64(0)
+	for x := uint32(1); x < 1000; x++ {
+		z := Encode(x, 0)
+		if z <= prev {
+			t.Fatalf("z not increasing along x at %d", x)
+		}
+		prev = z
+	}
+}
+
+func TestGridQuantizeBounds(t *testing.T) {
+	g := NewGrid(0, 0, 100, 100, 10)
+	x, y := g.Quantize(0, 0)
+	if x != 0 || y != 0 {
+		t.Fatalf("min corner should quantize to (0,0), got (%d,%d)", x, y)
+	}
+	x, y = g.Quantize(100, 100)
+	if x != g.Cells() || y != g.Cells() {
+		t.Fatalf("max corner should quantize to max cell, got (%d,%d)", x, y)
+	}
+	// Out of range clamps.
+	x, y = g.Quantize(-50, 150)
+	if x != 0 || y != g.Cells() {
+		t.Fatalf("clamp failed: (%d,%d)", x, y)
+	}
+}
+
+func TestGridDegenerateExtent(t *testing.T) {
+	g := NewGrid(5, 5, 5, 5, 8)
+	// Must not divide by zero.
+	_ = g.ZValue(5, 5)
+}
+
+func TestGridBitsClamped(t *testing.T) {
+	if g := NewGrid(0, 0, 1, 1, 0); g.Bits != 1 {
+		t.Fatalf("bits should clamp up to 1, got %d", g.Bits)
+	}
+	if g := NewGrid(0, 0, 1, 1, 40); g.Bits != 32 {
+		t.Fatalf("bits should clamp down to 32, got %d", g.Bits)
+	}
+}
+
+func TestNearbyPointsNearbyZ(t *testing.T) {
+	// Statistical sanity: for a fine grid, points within the same small
+	// cell neighbourhood have closer z-values than far-apart points, on
+	// average. Check one concrete quadrant property: points in the lower
+	// left quadrant always sort before the top right corner point.
+	g := NewGrid(0, 0, 1, 1, 16)
+	corner := g.ZValue(1, 1)
+	for i := 0; i < 100; i++ {
+		x := float64(i) / 250.0
+		y := float64(i%10) / 25.0
+		if g.ZValue(x, y) >= corner {
+			t.Fatalf("point (%g,%g) in lower-left quadrant sorted after top-right corner", x, y)
+		}
+	}
+}
+
+func TestShiftedZValueStaysEncodable(t *testing.T) {
+	g := NewGrid(0, 0, 10, 10, 12)
+	f := func(x, y, dx, dy float64) bool {
+		if x < 0 || x > 10 || y < 0 || y > 10 {
+			return true
+		}
+		if dx < -100 || dx > 100 || dy < -100 || dy > 100 {
+			return true
+		}
+		z := g.ShiftedZValue(x, y, dx, dy)
+		zx, zy := Decode(z)
+		return zx <= g.Cells() && zy <= g.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftZeroEqualsPlain(t *testing.T) {
+	g := NewGrid(0, 0, 10, 10, 12)
+	for _, p := range [][2]float64{{0, 0}, {3.3, 7.7}, {9.99, 0.01}} {
+		if g.ShiftedZValue(p[0], p[1], 0, 0) != g.ZValue(p[0], p[1]) {
+			t.Fatalf("zero shift changed z-value for %v", p)
+		}
+	}
+}
