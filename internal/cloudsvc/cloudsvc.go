@@ -9,20 +9,23 @@ package cloudsvc
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"efind/internal/index"
 	"efind/internal/sim"
 )
 
 // Service is a dynamic index served from one node with a fixed per-lookup
-// delay. Compute is the dynamic function (classifier, geo resolver, ...).
+// delay. Compute is the dynamic function (classifier, geo resolver, ...);
+// it must be safe for concurrent calls, since the parallel engine issues
+// lookups from concurrently executing tasks.
 type Service struct {
 	name    string
 	host    sim.NodeID
 	hostSet []sim.NodeID
 	delay   float64
 	compute func(key string) []string
-	calls   int64
+	calls   atomic.Int64
 }
 
 var _ index.Accessor = (*Service)(nil)
@@ -38,7 +41,7 @@ func (s *Service) Name() string { return s.name }
 
 // Lookup implements index.Accessor: it invokes the dynamic computation.
 func (s *Service) Lookup(key string) ([]string, error) {
-	s.calls++
+	s.calls.Add(1)
 	return s.compute(key), nil
 }
 
@@ -54,10 +57,10 @@ func (s *Service) HostsFor(string) []sim.NodeID { return s.hostSet }
 
 // Calls returns the number of lookups served (the pay-per-use meter the
 // paper wants minimized).
-func (s *Service) Calls() int64 { return s.calls }
+func (s *Service) Calls() int64 { return s.calls.Load() }
 
 // ResetStats clears the call counter.
-func (s *Service) ResetStats() { s.calls = 0 }
+func (s *Service) ResetStats() { s.calls.Store(0) }
 
 // NewGeoService builds the LOG experiment's cloud service: IP address →
 // geographical region, deterministically derived from the IP so results

@@ -370,6 +370,22 @@ type compiled struct {
 	execs map[string]*opExec
 }
 
+// attemptGuard snapshots every operator's node-shared caches ahead of a
+// task attempt; the returned rollback rewinds them if the attempt fails,
+// so a re-executed task re-measures its cache misses from the same state
+// and the miss ratio R feeding the cost model stays unskewed.
+func (co *compiled) attemptGuard(node sim.NodeID) func() {
+	rollbacks := make([]func(), 0, len(co.execs))
+	for _, x := range co.execs {
+		rollbacks = append(rollbacks, x.snapshotNode(node))
+	}
+	return func() {
+		for _, rb := range rollbacks {
+			rb()
+		}
+	}
+}
+
 // compilePlan lowers a job plan into the MapReduce job chain the plan
 // implementer will run (Figure 7's layouts generalized to whole jobs).
 func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, error) {
@@ -505,6 +521,7 @@ func (co *compiled) engineJob(conf *IndexJobConf, k int, input *dfs.File) *mapre
 		Partition:    cj.partition,
 		NumReduce:    cj.numReduce,
 		MapPlacement: cj.mapPlacement,
+		AttemptGuard: co.attemptGuard,
 	}
 	if !cj.stagesRanUpstream {
 		job.MapStagesBefore = cj.mapStages

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"efind/internal/index"
 	"efind/internal/lru"
 	"efind/internal/mapreduce"
@@ -9,13 +11,18 @@ import (
 
 // opExec is the runtime state of one operator under one plan: node-shared
 // lookup caches (real and shadow) plus the stage builders that compile the
-// plan into chained MapReduce functions.
+// plan into chained MapReduce functions. Tasks of different nodes execute
+// concurrently under the parallel engine, so the lazily-built nested cache
+// maps are guarded by mu; the caches themselves are per-node and each
+// node's tasks are serialized by the executor.
 type opExec struct {
 	op       *Operator
 	plan     OperatorPlan
 	cacheCap int
-	caches   map[int]map[sim.NodeID]*lru.Cache // decision position → node → cache
-	shadows  map[int]map[sim.NodeID]*lru.Cache
+
+	mu      sync.Mutex
+	caches  map[int]map[sim.NodeID]*lru.Cache // decision position → node → cache
+	shadows map[int]map[sim.NodeID]*lru.Cache
 }
 
 func newOpExec(op *Operator, plan OperatorPlan, cacheCap int) *opExec {
@@ -35,6 +42,8 @@ func newOpExec(op *Operator, plan OperatorPlan, cacheCap int) *opExec {
 // creating it lazily. The cache is shared by all tasks on the node,
 // matching the paper's per-machine lookup cache.
 func (x *opExec) cacheFor(pos int, node sim.NodeID, shadow bool) *lru.Cache {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	m := x.caches
 	if shadow {
 		m = x.shadows
@@ -50,6 +59,47 @@ func (x *opExec) cacheFor(pos int, node sim.NodeID, shadow bool) *lru.Cache {
 		byNode[node] = c
 	}
 	return c
+}
+
+// nodeCaches collects the operator's existing caches (real and shadow)
+// for one node.
+func (x *opExec) nodeCaches(node sim.NodeID) []*lru.Cache {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var out []*lru.Cache
+	for _, m := range []map[int]map[sim.NodeID]*lru.Cache{x.caches, x.shadows} {
+		for _, byNode := range m {
+			if c, ok := byNode[node]; ok {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// snapshotNode captures the state of the operator's caches on one node and
+// returns a rollback that rewinds them, resetting any cache the node
+// created after the snapshot. The engine's fault tolerance uses it so a
+// failed task attempt does not leave the node's shared caches warmed —
+// which would skew the measured miss ratio R the cost model consumes.
+func (x *opExec) snapshotNode(node sim.NodeID) func() {
+	caches := x.nodeCaches(node)
+	snaps := make([]*lru.Snapshot, len(caches))
+	for i, c := range caches {
+		snaps[i] = c.Snapshot()
+	}
+	return func() {
+		known := make(map[*lru.Cache]bool, len(caches))
+		for i, c := range caches {
+			c.Restore(snaps[i])
+			known[c] = true
+		}
+		for _, c := range x.nodeCaches(node) {
+			if !known[c] {
+				c.Reset()
+			}
+		}
+	}
 }
 
 // valueBytes sizes a lookup result the way the wire format would.

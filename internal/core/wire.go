@@ -64,6 +64,11 @@ func encodeCarrier(c *carrier) string {
 	return b.String()
 }
 
+// maxListLen bounds every list count in a decoded carrier — the outer
+// key/result list counts and the per-list element counts alike — so a
+// corrupt or hostile length prefix cannot drive huge decode loops.
+const maxListLen = 1 << 20
+
 // decodeCarrier parses a serialized carrier.
 func decodeCarrier(s string) (*carrier, error) {
 	d := &decoder{s: s}
@@ -71,12 +76,15 @@ func decodeCarrier(s string) (*carrier, error) {
 	c.Pair.Key = d.str()
 	c.Pair.Value = d.str()
 	nk := d.num()
-	if d.err == nil && (nk < 0 || nk > 1<<20) {
+	if d.err == nil && (nk < 0 || nk > maxListLen) {
 		return nil, fmt.Errorf("efind: corrupt carrier: %d key lists", nk)
 	}
 	c.Keys = make([][]string, 0, max(nk, 0))
 	for i := 0; i < nk && d.err == nil; i++ {
 		n := d.num()
+		if d.err == nil && (n < 0 || n > maxListLen) {
+			return nil, fmt.Errorf("efind: corrupt carrier: %d keys in list %d", n, i)
+		}
 		var ks []string
 		for j := 0; j < n && d.err == nil; j++ {
 			ks = append(ks, d.str())
@@ -84,16 +92,22 @@ func decodeCarrier(s string) (*carrier, error) {
 		c.Keys = append(c.Keys, ks)
 	}
 	nr := d.num()
-	if d.err == nil && (nr < 0 || nr > 1<<20) {
+	if d.err == nil && (nr < 0 || nr > maxListLen) {
 		return nil, fmt.Errorf("efind: corrupt carrier: %d result lists", nr)
 	}
 	c.Results = make([][]KeyResult, 0, max(nr, 0))
 	for i := 0; i < nr && d.err == nil; i++ {
 		n := d.num()
+		if d.err == nil && (n < 0 || n > maxListLen) {
+			return nil, fmt.Errorf("efind: corrupt carrier: %d results in list %d", n, i)
+		}
 		var rs []KeyResult
 		for j := 0; j < n && d.err == nil; j++ {
 			kr := KeyResult{Key: d.str()}
 			nv := d.num()
+			if d.err == nil && (nv < 0 || nv > maxListLen) {
+				return nil, fmt.Errorf("efind: corrupt carrier: %d values for key %q", nv, kr.Key)
+			}
 			for v := 0; v < nv && d.err == nil; v++ {
 				kr.Values = append(kr.Values, d.str())
 			}

@@ -10,6 +10,8 @@ package kvstore
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"efind/internal/btree"
 	"efind/internal/index"
@@ -17,14 +19,18 @@ import (
 )
 
 // Store is a distributed KV index. Create with NewHash or NewRange, load
-// with Put/Load, then serve Lookup traffic.
+// with Put/Load, then serve Lookup traffic. Lookups are safe to issue
+// from concurrently executing tasks (the parallel engine does); loads
+// take a write lock, mirroring a store that is bulk-loaded before the
+// job's read-only query traffic.
 type Store struct {
 	name      string
 	scheme    index.Scheme
+	mu        sync.RWMutex
 	parts     []*btree.Tree
 	serveTime float64
-	lookups   int64
-	misses    int64
+	lookups   atomic.Int64
+	misses    atomic.Int64
 }
 
 var _ index.Partitioned = (*Store)(nil)
@@ -86,6 +92,8 @@ func (s *Store) Name() string { return s.name }
 // Put appends a value under key (a key can hold several values, like a
 // non-unique secondary index).
 func (s *Store) Put(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p := s.parts[s.scheme.Fn(key)]
 	if cur, ok := p.Get(key); ok {
 		p.Put(key, append(cur.([]string), value))
@@ -106,10 +114,12 @@ func (s *Store) Load(pairs map[string][]string) {
 // Lookup implements index.Accessor. A missing key returns an empty result,
 // not an error (the paper's lookups return a possibly empty list {iv}).
 func (s *Store) Lookup(key string) ([]string, error) {
-	s.lookups++
+	s.lookups.Add(1)
+	s.mu.RLock()
 	v, ok := s.parts[s.scheme.Fn(key)].Get(key)
+	s.mu.RUnlock()
 	if !ok {
-		s.misses++
+		s.misses.Add(1)
 		return nil, nil
 	}
 	return v.([]string), nil
@@ -128,16 +138,21 @@ func (s *Store) Scheme() *index.Scheme { return &s.scheme }
 
 // Lookups returns how many lookups the store has served — the observable
 // the redundancy-reducing strategies shrink.
-func (s *Store) Lookups() int64 { return s.lookups }
+func (s *Store) Lookups() int64 { return s.lookups.Load() }
 
 // Misses returns how many lookups found no value.
-func (s *Store) Misses() int64 { return s.misses }
+func (s *Store) Misses() int64 { return s.misses.Load() }
 
 // ResetStats clears the lookup counters (between experiment runs).
-func (s *Store) ResetStats() { s.lookups, s.misses = 0, 0 }
+func (s *Store) ResetStats() {
+	s.lookups.Store(0)
+	s.misses.Store(0)
+}
 
 // Len returns the total number of distinct keys stored.
 func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, p := range s.parts {
 		n += p.Len()
@@ -148,6 +163,8 @@ func (s *Store) Len() int {
 // PartitionSizes returns the distinct-key count per partition, for tests
 // of partition balance.
 func (s *Store) PartitionSizes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]int, len(s.parts))
 	for i, p := range s.parts {
 		out[i] = p.Len()

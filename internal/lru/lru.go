@@ -3,12 +3,19 @@
 // 1024 index key/value entries; capacity sweeps are exposed as an ablation.
 package lru
 
-import "container/list"
+import (
+	"container/list"
+	"sync"
+)
 
-// Cache is a string-keyed LRU cache. It is not safe for concurrent use;
-// callers that share a cache across tasks must synchronize (the EFind
-// runtime does).
+// Cache is a string-keyed LRU cache. It is safe for concurrent use: the
+// EFind runtime shares one cache per machine across all of that machine's
+// tasks, and the parallel executor runs tasks of different machines on
+// different goroutines. (Tasks of the same machine are serialized by the
+// executor, so the lock is uncontended in practice; it exists so that the
+// structure is safe no matter how callers schedule around it.)
 type Cache struct {
+	mu       sync.Mutex
 	capacity int
 	ll       *list.List
 	items    map[string]*list.Element
@@ -38,6 +45,8 @@ func New(capacity int) *Cache {
 // Get returns the cached lookup result for key and whether it was present,
 // promoting the entry to most-recently-used on a hit.
 func (c *Cache) Get(key string) ([]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
@@ -50,6 +59,8 @@ func (c *Cache) Get(key string) ([]string, bool) {
 // Put stores the lookup result for key, evicting the least-recently-used
 // entry if the cache is full. Re-putting an existing key refreshes it.
 func (c *Cache) Put(key string, values []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*entry).values = values
@@ -67,27 +78,86 @@ func (c *Cache) Put(key string, values []string) {
 }
 
 // Len returns the number of live entries.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
 
 // Capacity returns the configured maximum entry count.
 func (c *Cache) Capacity() int { return c.capacity }
 
 // Stats returns the hit and miss counts since creation or the last Reset.
-func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
 
 // MissRatio returns misses/(hits+misses), the paper's R term, or 1 if the
 // cache has never been probed (a pessimistic prior).
 func (c *Cache) MissRatio() float64 {
-	total := c.hits + c.misses
+	hits, misses := c.Stats()
+	total := hits + misses
 	if total == 0 {
 		return 1
 	}
-	return float64(c.misses) / float64(total)
+	return float64(misses) / float64(total)
 }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+}
+
+func (c *Cache) reset() {
 	c.ll = list.New()
 	c.items = make(map[string]*list.Element, c.capacity)
 	c.hits, c.misses = 0, 0
+}
+
+// Snapshot is a point-in-time copy of a cache's entries and statistics,
+// used by the MapReduce engine's fault tolerance: a failed task attempt
+// pollutes its node's shared caches, and restoring the pre-attempt
+// snapshot keeps the measured miss ratio R honest for the re-execution.
+type Snapshot struct {
+	keys   []string // oldest → newest
+	values [][]string
+	hits   int64
+	misses int64
+}
+
+// Snapshot captures the cache's current entries (in recency order) and
+// hit/miss statistics. Entry values are shared, not deep-copied: the cache
+// never mutates stored value slices in place.
+func (c *Cache) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := &Snapshot{
+		keys:   make([]string, 0, c.ll.Len()),
+		values: make([][]string, 0, c.ll.Len()),
+		hits:   c.hits,
+		misses: c.misses,
+	}
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		s.keys = append(s.keys, e.key)
+		s.values = append(s.values, e.values)
+	}
+	return s
+}
+
+// Restore rewinds the cache to a snapshot taken from it (or from a cache
+// of the same capacity).
+func (c *Cache) Restore(s *Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reset()
+	for i, k := range s.keys {
+		el := c.ll.PushFront(&entry{key: k, values: s.values[i]})
+		c.items[k] = el
+	}
+	c.hits, c.misses = s.hits, s.misses
 }

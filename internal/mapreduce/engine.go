@@ -10,14 +10,20 @@ import (
 
 // Engine executes jobs on a simulated cluster. Records really flow through
 // the user functions; durations are virtual times from the sim cost model.
+// Task bodies may execute concurrently (sim.Config.Parallelism); the
+// engine merges per-task outputs, stats, and counters by task index, so
+// results are identical to a serial run.
 type Engine struct {
 	Cluster *sim.Cluster
 	FS      *dfs.FS
-	// FaultInjector, when set, is consulted before each task attempt:
+	// FaultInjector, when set, is consulted after each task attempt:
 	// returning true fails that attempt after it has consumed its full
 	// duration, and the task is re-executed (MapReduce's re-execution
 	// fault tolerance). Attempts are 1-based; an attempt that is not
-	// failed succeeds. Used by failure-injection tests.
+	// failed succeeds. A task whose first maxAttempts attempts all fail
+	// fails the whole job, as Hadoop does once a task exhausts
+	// mapred.map.max.attempts. The injector must be safe for concurrent
+	// calls: the parallel executor consults it from several goroutines.
 	FaultInjector func(kind TaskKind, task, attempt int) bool
 }
 
@@ -25,6 +31,7 @@ type Engine struct {
 const CounterTaskRetries = "task.retries"
 
 // maxAttempts caps re-execution (Hadoop's mapred.map.max.attempts = 4).
+// A task failing this many attempts fails its job.
 const maxAttempts = 4
 
 // New returns an engine bound to the cluster and file system.
@@ -110,6 +117,7 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 		Stats:    make([]TaskStats, len(splits)),
 		Counters: make(map[string]int64),
 	}
+	taskErrs := make([]error, len(splits))
 	tasks := make([]sim.Task, len(splits))
 	for i, s := range splits {
 		i, s := i, s
@@ -122,10 +130,14 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 			Preferred: preferred,
 			Run: func(node sim.NodeID) float64 {
 				total := 0.0
-				for attempt := 1; ; attempt++ {
+				for attempt := 1; attempt <= maxAttempts; attempt++ {
+					rollback := e.guardAttempt(job, node)
 					out, stats := e.runMapTask(job, i, s, chunk, node)
 					total += stats.Duration
 					if e.failAttempt(MapTask, i, attempt) {
+						if rollback != nil {
+							rollback()
+						}
 						continue // attempt wasted; re-execute
 					}
 					stats.Duration = total
@@ -134,15 +146,42 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 					res.Stats[i] = stats
 					return total
 				}
+				taskErrs[i] = fmt.Errorf("mapreduce: job %q map task %d (split %d) failed %d attempts", job.Name, i, s, maxAttempts)
+				return total
 			},
 		}
 	}
 	res.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().MapSlotsPerNode)
+	if err := firstError(taskErrs); err != nil {
+		return nil, err
+	}
 	res.VTime = res.Phase.Makespan
 	for _, st := range res.Stats {
 		mergeCounters(res.Counters, st.Counters)
 	}
 	return res, nil
+}
+
+// guardAttempt snapshots node-shared stage state ahead of a task attempt
+// that might fail, returning the rollback to invoke on failure. It is a
+// no-op (nil) when no faults can be injected, so normal runs skip the
+// snapshot cost entirely.
+func (e *Engine) guardAttempt(job *Job, node sim.NodeID) func() {
+	if e.FaultInjector == nil || job.AttemptGuard == nil {
+		return nil
+	}
+	return job.AttemptGuard(node)
+}
+
+// firstError returns the lowest-indexed task error, making the job-level
+// error deterministic regardless of task completion order.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runMapTask executes one map task on the given node.
@@ -348,16 +387,21 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 		Homes:    make([]sim.NodeID, len(reducers)),
 		Stats:    make([]TaskStats, len(reducers)),
 	}
+	taskErrs := make([]error, len(reducers))
 	tasks := make([]sim.Task, len(reducers))
 	for i, r := range reducers {
 		i, r := i, r
 		tasks[i] = sim.Task{
 			Run: func(node sim.NodeID) float64 {
 				total := 0.0
-				for attempt := 1; ; attempt++ {
+				for attempt := 1; attempt <= maxAttempts; attempt++ {
+					rollback := e.guardAttempt(job, node)
 					shard, st := e.runReduceTask(job, r, node, outputs)
 					total += st.Duration
 					if e.failAttempt(ReduceTask, r, attempt) {
+						if rollback != nil {
+							rollback()
+						}
 						continue
 					}
 					st.Duration = total
@@ -367,10 +411,15 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 					sub.Stats[i] = st
 					return total
 				}
+				taskErrs[i] = fmt.Errorf("mapreduce: job %q reduce task %d failed %d attempts", job.Name, r, maxAttempts)
+				return total
 			},
 		}
 	}
 	sub.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().ReduceSlotsPerNode)
+	if err := firstError(taskErrs); err != nil {
+		return nil, err
+	}
 	sub.VTime = sub.Phase.Makespan
 	return sub, nil
 }
@@ -470,9 +519,12 @@ func (e *Engine) FinishMapOnly(job *Job, mp *MapPhaseResult) (*Result, error) {
 	return res, nil
 }
 
-// failAttempt consults the fault injector, capping retries.
+// failAttempt consults the fault injector. The retry loops bound attempts
+// at maxAttempts and fail the job when every attempt failed — previously
+// the final attempt skipped the injector, so a permanently failing task
+// silently succeeded.
 func (e *Engine) failAttempt(kind TaskKind, task, attempt int) bool {
-	return e.FaultInjector != nil && attempt < maxAttempts && e.FaultInjector(kind, task, attempt)
+	return e.FaultInjector != nil && e.FaultInjector(kind, task, attempt)
 }
 
 // taskStats snapshots a finished task's context.

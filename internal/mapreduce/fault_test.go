@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -79,14 +80,15 @@ func TestFaultInjectionReduceRetries(t *testing.T) {
 	}
 }
 
-// TestFaultInjectionCapped: an always-failing injector still terminates
-// (the attempt cap forces the final attempt through).
-func TestFaultInjectionCapped(t *testing.T) {
+// TestFaultInjectionLastAttemptSucceeds: a task that fails its first
+// maxAttempts-1 attempts still completes on the final allowed attempt,
+// with every retry counted.
+func TestFaultInjectionLastAttemptSucceeds(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 50)
-	e.FaultInjector = func(TaskKind, int, int) bool { return true }
+	e.FaultInjector = func(_ TaskKind, _, attempt int) bool { return attempt < maxAttempts }
 	defer func() { e.FaultInjector = nil }()
-	res, err := e.Run(&Job{Name: "always-fail", Input: in, NumReduce: 2, Reduce: IdentityReduce})
+	res, err := e.Run(&Job{Name: "flaky", Input: in, NumReduce: 2, Reduce: IdentityReduce})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +99,40 @@ func TestFaultInjectionCapped(t *testing.T) {
 		if st.Counters[CounterTaskRetries] != maxAttempts-1 {
 			t.Fatalf("map retries = %d, want %d", st.Counters[CounterTaskRetries], maxAttempts-1)
 		}
+	}
+}
+
+// TestFaultInjectionPermanentMapFailure: a task whose every attempt fails
+// must fail the job after maxAttempts, like Hadoop once a task exhausts
+// mapred.map.max.attempts — it must NOT silently succeed on the capped
+// attempt.
+func TestFaultInjectionPermanentMapFailure(t *testing.T) {
+	_, fs, e := testEnv(t)
+	in := makeInput(t, fs, "in", 50)
+	e.FaultInjector = func(kind TaskKind, task, _ int) bool { return kind == MapTask && task == 0 }
+	defer func() { e.FaultInjector = nil }()
+	_, err := e.Run(&Job{Name: "doomed", Input: in, NumReduce: 2, Reduce: IdentityReduce})
+	if err == nil {
+		t.Fatal("permanently failing map task must fail the job")
+	}
+	if !strings.Contains(err.Error(), "failed 4 attempts") {
+		t.Fatalf("error should report exhausted attempts, got %v", err)
+	}
+}
+
+// TestFaultInjectionPermanentReduceFailure covers the reduce-side job
+// failure path.
+func TestFaultInjectionPermanentReduceFailure(t *testing.T) {
+	_, fs, e := testEnv(t)
+	in := makeInput(t, fs, "in", 50)
+	e.FaultInjector = func(kind TaskKind, task, _ int) bool { return kind == ReduceTask && task == 1 }
+	defer func() { e.FaultInjector = nil }()
+	_, err := e.Run(&Job{Name: "rdoomed", Input: in, NumReduce: 3, Reduce: IdentityReduce})
+	if err == nil {
+		t.Fatal("permanently failing reduce task must fail the job")
+	}
+	if !strings.Contains(err.Error(), "reduce task 1 failed 4 attempts") {
+		t.Fatalf("error should name the reduce task, got %v", err)
 	}
 }
 

@@ -56,6 +56,14 @@ type Job struct {
 	// partition hosts instead of input chunk replicas). Nil = data
 	// locality (chunk replicas).
 	MapPlacement func(split int, chunk *dfs.Chunk) []sim.NodeID
+	// AttemptGuard, when set, is called before each task attempt that can
+	// still be retried, with the node the attempt runs on; the returned
+	// rollback is invoked iff that attempt fails, rewinding node-shared
+	// stage state (per-machine lookup caches) the failed attempt polluted.
+	// The engine only consults it while a FaultInjector is installed, so
+	// fault-free runs pay nothing. The EFind runtime wires this to cache
+	// snapshot/restore so retries do not skew the measured miss ratio R.
+	AttemptGuard func(node sim.NodeID) (rollback func())
 }
 
 // validate fills defaults and rejects unusable configurations.

@@ -1,0 +1,185 @@
+package mapreduce
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"efind/internal/dfs"
+	"efind/internal/sim"
+)
+
+// parEnv is testEnv with an explicit executor parallelism.
+func parEnv(t *testing.T, parallelism int) (*dfs.FS, *Engine) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MapSlotsPerNode = 2
+	cfg.ReduceSlotsPerNode = 1
+	cfg.TaskStartup = 0.01
+	cfg.Parallelism = parallelism
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 1 << 10
+	return fs, New(cluster, fs)
+}
+
+// TestJobDeterministicUnderParallelism: the same job run under the serial
+// and the parallel executor must agree on virtual time, merged counters,
+// per-task stats, phase schedules, and output records.
+func TestJobDeterministicUnderParallelism(t *testing.T) {
+	run := func(parallelism int) *Result {
+		fs, e := parEnv(t, parallelism)
+		in := makeInput(t, fs, "in", 600)
+		res, err := e.Run(wordCountJob(in, "wc", false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := run(1)
+	parallel := run(8)
+
+	if serial.VTime != parallel.VTime {
+		t.Fatalf("virtual makespan diverged: serial %g vs parallel %g", serial.VTime, parallel.VTime)
+	}
+	if !reflect.DeepEqual(serial.Counters, parallel.Counters) {
+		t.Fatalf("counters diverged:\nserial:   %v\nparallel: %v", serial.Counters, parallel.Counters)
+	}
+	if !reflect.DeepEqual(serial.MapStats, parallel.MapStats) {
+		t.Fatalf("map stats diverged:\nserial:   %+v\nparallel: %+v", serial.MapStats, parallel.MapStats)
+	}
+	if !reflect.DeepEqual(serial.ReduceStats, parallel.ReduceStats) {
+		t.Fatalf("reduce stats diverged")
+	}
+	if !reflect.DeepEqual(serial.MapPhase, parallel.MapPhase) {
+		t.Fatalf("map phase schedule diverged:\nserial:   %+v\nparallel: %+v", serial.MapPhase, parallel.MapPhase)
+	}
+	if !reflect.DeepEqual(serial.ReducePhase, parallel.ReducePhase) {
+		t.Fatalf("reduce phase schedule diverged")
+	}
+	a, b := collect(serial), collect(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("output diverged: %d vs %d records", len(a), len(b))
+	}
+}
+
+// TestJobDeterministicWithFaultsUnderParallelism layers retries on top:
+// fault handling (attempt accounting, retry counters, job-level errors)
+// must also be executor-independent.
+func TestJobDeterministicWithFaultsUnderParallelism(t *testing.T) {
+	run := func(parallelism int) *Result {
+		fs, e := parEnv(t, parallelism)
+		in := makeInput(t, fs, "in", 400)
+		e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
+			return kind == MapTask && task%4 == 1 && attempt == 1
+		}
+		res, err := e.Run(wordCountJob(in, "wc-fault", false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.VTime != parallel.VTime {
+		t.Fatalf("faulty makespan diverged: %g vs %g", serial.VTime, parallel.VTime)
+	}
+	if !reflect.DeepEqual(serial.Counters, parallel.Counters) {
+		t.Fatalf("faulty counters diverged:\nserial:   %v\nparallel: %v", serial.Counters, parallel.Counters)
+	}
+	if serial.Counters[CounterTaskRetries] == 0 {
+		t.Fatal("fault injector did not fire")
+	}
+	if !reflect.DeepEqual(collect(serial), collect(parallel)) {
+		t.Fatal("faulty output diverged")
+	}
+}
+
+// spinMapJob burns real CPU per record so wall-clock time is dominated by
+// task bodies rather than scheduler bookkeeping.
+func spinMapJob(in *dfs.File, spin int) *Job {
+	return &Job{
+		Name:      "spin",
+		Input:     in,
+		NumReduce: 2,
+		Map: func(_ *TaskContext, p Pair, emit Emit) {
+			h := uint64(1469598103934665603)
+			for i := 0; i < spin; i++ {
+				for j := 0; j < len(p.Value); j++ {
+					h = (h ^ uint64(p.Value[j])) * 1099511628211
+				}
+			}
+			emit(Pair{Key: p.Key, Value: fmt.Sprintf("%x", h)})
+		},
+		Reduce: IdentityReduce,
+	}
+}
+
+// TestParallelWallClockSpeedup checks that the parallel executor actually
+// buys wall-clock time on a CPU-bound job. Needs real cores to mean
+// anything, so it skips on small machines and in -short mode.
+func TestParallelWallClockSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock measurement in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >=4 CPUs for a meaningful speedup measurement, have %d", runtime.NumCPU())
+	}
+
+	elapsed := func(parallelism int) time.Duration {
+		fs, e := parEnv(t, parallelism)
+		in := makeInput(t, fs, "in", 2000)
+		job := spinMapJob(in, 3000)
+		start := time.Now()
+		if _, err := e.Run(job); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Warm up once to stabilize allocator state, then measure.
+	elapsed(1)
+	serial := elapsed(1)
+	parallel := elapsed(0) // 0 = GOMAXPROCS workers
+
+	t.Logf("serial %v, parallel %v (%.2fx)", serial, parallel, float64(serial)/float64(parallel))
+	if float64(serial) < 2*float64(parallel) {
+		t.Fatalf("expected >=2x speedup on %d CPUs: serial %v vs parallel %v",
+			runtime.NumCPU(), serial, parallel)
+	}
+}
+
+// BenchmarkSpinJobSerial / BenchmarkSpinJobParallel compare the executors
+// on the same CPU-bound job; run with -cpu to vary worker counts.
+func benchmarkSpinJob(b *testing.B, parallelism int) {
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MapSlotsPerNode = 2
+	cfg.TaskStartup = 0.01
+	cfg.Parallelism = parallelism
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 1 << 10
+	e := New(cluster, fs)
+	recs := make([]dfs.Record, 500)
+	for i := range recs {
+		recs[i] = dfs.Record{Key: fmt.Sprintf("k%04d", i), Value: fmt.Sprintf("word%d payload-%04d", i%7, i)}
+	}
+	in, err := fs.Create("bench", recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(spinMapJob(in, 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpinJobSerial(b *testing.B)   { benchmarkSpinJob(b, 1) }
+func BenchmarkSpinJobParallel(b *testing.B) { benchmarkSpinJob(b, 0) }

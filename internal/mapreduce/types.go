@@ -47,8 +47,11 @@ type Stage interface {
 
 // StageFactory builds the Stage instance for a task running on the given
 // node. Factories that want node-level shared state (e.g. a per-machine
-// lookup cache) can key it by node; the engine executes tasks sequentially
-// inside the simulation loop, so no locking is needed.
+// lookup cache) can key it by node; the executor serializes the tasks of
+// each node, so per-node state sees one task at a time, but the factory
+// itself — and any structure shared across nodes — must be safe for
+// concurrent use because tasks of different nodes run on real goroutines
+// (sim.Config.Parallelism).
 type StageFactory func(node sim.NodeID) Stage
 
 // FuncStage adapts plain functions into a Stage. Nil fields are no-ops.

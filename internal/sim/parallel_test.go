@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// buildVariedTasks makes a task bag whose durations depend on both the
+// task and its placement, with mixed locality preferences, so schedules
+// are sensitive to any divergence in placement policy.
+func buildVariedTasks(n, nodes int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		var pref []NodeID
+		switch i % 3 {
+		case 0:
+			pref = []NodeID{NodeID(i % nodes), NodeID((i + 1) % nodes)}
+		case 1:
+			pref = []NodeID{NodeID((i * 7) % nodes)}
+		}
+		tasks[i] = Task{
+			Preferred: pref,
+			Run: func(node NodeID) float64 {
+				// Irregular but pure in (task, node).
+				return 0.5 + math.Mod(float64(i)*1.37+float64(node)*0.61, 2.0)
+			},
+		}
+	}
+	return tasks
+}
+
+// runPhase executes the task bag under the given parallelism.
+func runPhase(t *testing.T, parallelism, n, slotsPerNode int) PhaseResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 5
+	cfg.Parallelism = parallelism
+	cfg.NodeSpeed = []float64{1, 1, 0.5, 1, 2}
+	c := NewCluster(cfg)
+	return c.SchedulePhase(buildVariedTasks(n, cfg.Nodes), slotsPerNode)
+}
+
+// TestParallelScheduleMatchesSerial: the parallel executor must produce a
+// bit-identical PhaseResult (makespan, waves, locality counts, and every
+// assignment) for task bags of several shapes.
+func TestParallelScheduleMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, slots int }{
+		{1, 1}, {3, 2}, {10, 2}, {37, 3}, {100, 4}, {256, 2},
+	} {
+		serial := runPhase(t, 1, tc.n, tc.slots)
+		for _, workers := range []int{2, 3, 8, 32} {
+			par := runPhase(t, workers, tc.n, tc.slots)
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("n=%d slots=%d workers=%d: parallel schedule diverged\nserial:   %+v\nparallel: %+v",
+					tc.n, tc.slots, workers, serial, par)
+			}
+		}
+	}
+}
+
+// TestParallelPerNodeExecutionOrder: tasks placed on the same node must
+// execute in the serial executor's order even under the parallel
+// executor, because node-shared stage state (lookup caches) depends on
+// the access sequence.
+func TestParallelPerNodeExecutionOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	const n = 64
+
+	order := func(parallelism int) [][]int {
+		cfg.Parallelism = parallelism
+		c := NewCluster(cfg)
+		perNode := make([][]int, cfg.Nodes)
+		tasks := buildVariedTasks(n, cfg.Nodes)
+		for i := range tasks {
+			i, inner := i, tasks[i].Run
+			tasks[i].Run = func(node NodeID) float64 {
+				// Only this node's executor goroutine appends here, and
+				// SchedulePhase's return orders it before our reads.
+				perNode[node] = append(perNode[node], i)
+				return inner(node)
+			}
+		}
+		c.SchedulePhase(tasks, 3)
+		return perNode
+	}
+
+	serial := order(1)
+	parallel := order(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("per-node execution order diverged\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}
+
+// TestParallelRunsEachTaskOnce guards the dispatch bookkeeping.
+func TestParallelRunsEachTaskOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 6
+	cfg.Parallelism = 8
+	c := NewCluster(cfg)
+	const n = 200
+	runs := make([]int, n)
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Run: func(NodeID) float64 {
+			runs[i]++ // distinct index per task; ordered before the phase returns
+			return 1
+		}}
+	}
+	res := c.SchedulePhase(tasks, 2)
+	if len(res.Assignments) != n {
+		t.Fatalf("assignments = %d, want %d", len(res.Assignments), n)
+	}
+	for i, r := range runs {
+		if r != 1 {
+			t.Fatalf("task %d ran %d times", i, r)
+		}
+	}
+}
+
+// TestValidateRejectsNegativeParallelism pins the config check.
+func TestValidateRejectsNegativeParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative parallelism must be rejected")
+	}
+}

@@ -15,7 +15,12 @@ type Task struct {
 	// index-locality strategy). Empty means no preference.
 	Preferred []NodeID
 	// Run executes the task on the chosen node and returns its virtual
-	// duration in seconds. Run is called exactly once.
+	// duration in seconds. Run is called exactly once. Under the parallel
+	// executor, Run bodies for different nodes execute concurrently;
+	// bodies for the same node always execute one at a time, in the order
+	// the scheduler placed them, so per-node shared state (the paper's
+	// per-machine lookup caches) sees the same access sequence as the
+	// serial executor.
 	Run func(node NodeID) float64
 }
 
@@ -66,34 +71,92 @@ func (h *slotHeap) Pop() interface{} {
 	return s
 }
 
-// SchedulePhase runs all tasks on the cluster using slotsPerNode slots per
-// node. It emulates Hadoop's locality-preferring greedy scheduler: whenever
-// a slot frees on node n, it first looks for a pending task that prefers n,
-// and otherwise takes the oldest pending task (a remote/"rack-off"
-// assignment). Tasks execute (for real) inside the event loop, so their
-// measured virtual durations reflect the placement the scheduler chose.
-func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
-	res := PhaseResult{}
-	if len(tasks) == 0 {
-		return res
+// taskPicker implements the deterministic locality-preferring greedy
+// policy shared by the serial and parallel executors: whenever a slot
+// frees on node n, it first looks for a pending task that prefers n, and
+// otherwise takes the oldest pending task (a remote/"rack-off"
+// assignment). Both executors make the identical sequence of picks, so
+// placements — and therefore durations and makespans — are bit-identical.
+type taskPicker struct {
+	tasks   []Task
+	pending []bool
+	byNode  map[NodeID][]int
+	next    int // cursor for non-local pickup, in task order
+	left    int
+}
+
+func newTaskPicker(tasks []Task) *taskPicker {
+	p := &taskPicker{
+		tasks:   tasks,
+		pending: make([]bool, len(tasks)),
+		byNode:  make(map[NodeID][]int),
+		left:    len(tasks),
 	}
+	for i, t := range tasks {
+		p.pending[i] = true
+		for _, n := range t.Preferred {
+			p.byNode[n] = append(p.byNode[n], i)
+		}
+	}
+	return p
+}
+
+// pick takes the next task for a freed slot on node, or -1 when no tasks
+// remain.
+func (p *taskPicker) pick(node NodeID) (ti int, local bool) {
+	if p.left == 0 {
+		return -1, false
+	}
+	ti = -1
+	queue := p.byNode[node]
+	for len(queue) > 0 {
+		cand := queue[0]
+		queue = queue[1:]
+		if p.pending[cand] {
+			ti = cand
+			local = true
+			break
+		}
+	}
+	p.byNode[node] = queue
+	if ti < 0 {
+		for p.next < len(p.tasks) && !p.pending[p.next] {
+			p.next++
+		}
+		if p.next >= len(p.tasks) {
+			return -1, false
+		}
+		ti = p.next
+		local = ContainsNode(p.tasks[ti].Preferred, node)
+	}
+	p.pending[ti] = false
+	p.left--
+	return ti, local
+}
+
+// SchedulePhase runs all tasks on the cluster using slotsPerNode slots per
+// node, emulating Hadoop's locality-preferring greedy scheduler. Tasks
+// execute for real, so their measured virtual durations reflect the
+// placement the scheduler chose.
+//
+// When the cluster allows more than one worker (Config.Parallelism, or
+// GOMAXPROCS by default), task bodies run concurrently on real goroutines
+// while the virtual-time schedule stays bit-identical to the serial
+// executor: placements are decided by the same greedy policy in the same
+// order, tasks placed on the same node run one at a time in placement
+// order, and results are merged deterministically by task index.
+func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
 	if slotsPerNode <= 0 {
 		slotsPerNode = 1
 	}
-
-	// Pending tasks indexed by preferred node for O(1) locality matching.
-	pending := make(map[int]bool, len(tasks))
-	byNode := make(map[NodeID][]int)
-	order := make([]int, len(tasks))
-	for i, t := range tasks {
-		pending[i] = true
-		order[i] = i
-		for _, n := range t.Preferred {
-			byNode[n] = append(byNode[n], i)
-		}
+	if w := c.Workers(); w > 1 && len(tasks) > 1 {
+		return c.schedulePhaseParallel(tasks, slotsPerNode, w)
 	}
-	next := 0 // cursor into order for non-local pickup
+	return c.schedulePhaseSerial(tasks, slotsPerNode)
+}
 
+// newSlotHeap builds the initial heap with every slot free at time 0.
+func (c *Cluster) newSlotHeap(slotsPerNode int) slotHeap {
 	h := make(slotHeap, 0, c.cfg.Nodes*slotsPerNode)
 	for n := 0; n < c.cfg.Nodes; n++ {
 		for s := 0; s < slotsPerNode; s++ {
@@ -101,63 +164,53 @@ func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
 		}
 	}
 	heap.Init(&h)
+	return h
+}
 
+func (r *PhaseResult) record(a Assignment) {
+	r.Assignments = append(r.Assignments, a)
+	if a.Local {
+		r.LocalTasks++
+	}
+	if end := a.Start + a.Duration; end > r.Makespan {
+		r.Makespan = end
+	}
+}
+
+func (r *PhaseResult) sortAssignments() {
+	sort.Slice(r.Assignments, func(i, j int) bool {
+		if r.Assignments[i].Start != r.Assignments[j].Start {
+			return r.Assignments[i].Start < r.Assignments[j].Start
+		}
+		return r.Assignments[i].Task < r.Assignments[j].Task
+	})
+}
+
+// schedulePhaseSerial executes every task body inline in the event loop.
+func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int) PhaseResult {
+	res := PhaseResult{}
+	if len(tasks) == 0 {
+		return res
+	}
+	picker := newTaskPicker(tasks)
+	h := c.newSlotHeap(slotsPerNode)
 	totalSlots := c.cfg.Nodes * slotsPerNode
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
 
-	scheduled := 0
-	for scheduled < len(tasks) {
+	for scheduled := 0; scheduled < len(tasks); scheduled++ {
 		s := heap.Pop(&h).(slot)
-
-		// Locality first: a pending task that prefers this slot's node.
-		ti := -1
-		local := false
-		queue := byNode[s.node]
-		for len(queue) > 0 {
-			cand := queue[0]
-			queue = queue[1:]
-			if pending[cand] {
-				ti = cand
-				local = true
-				break
-			}
-		}
-		byNode[s.node] = queue
+		ti, local := picker.pick(s.node)
 		if ti < 0 {
-			for next < len(order) && !pending[order[next]] {
-				next++
-			}
-			if next >= len(order) {
-				// All remaining tasks are already taken: shouldn't happen
-				// because pending count drives the loop.
-				break
-			}
-			ti = order[next]
-			local = ContainsNode(tasks[ti].Preferred, s.node)
+			// All remaining tasks are already taken: shouldn't happen
+			// because the pending count drives the loop.
+			break
 		}
-
-		pending[ti] = false
 		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node)) / c.cfg.SpeedOf(s.node)
-		a := Assignment{Task: ti, Node: s.node, Start: s.free, Duration: dur, Local: local}
-		res.Assignments = append(res.Assignments, a)
-		if local {
-			res.LocalTasks++
-		}
-		end := s.free + dur
-		if end > res.Makespan {
-			res.Makespan = end
-		}
-		heap.Push(&h, slot{node: s.node, free: end})
-		scheduled++
+		res.record(Assignment{Task: ti, Node: s.node, Start: s.free, Duration: dur, Local: local})
+		heap.Push(&h, slot{node: s.node, free: s.free + dur})
 	}
-
-	sort.Slice(res.Assignments, func(i, j int) bool {
-		if res.Assignments[i].Start != res.Assignments[j].Start {
-			return res.Assignments[i].Start < res.Assignments[j].Start
-		}
-		return res.Assignments[i].Task < res.Assignments[j].Task
-	})
+	res.sortAssignments()
 	return res
 }
 

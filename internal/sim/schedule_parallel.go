@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// The parallel executor runs task bodies on real goroutines while
+// reproducing the serial executor's virtual-time schedule exactly. The
+// coordinator below replays the same greedy policy (taskPicker over a
+// slot heap); the one thing it must get right is the ORDER of placement
+// decisions, because each decision consumes picker state.
+//
+// The serial executor pops the slot with the minimum (free, node) at
+// every step. A slot's free time is known once its previous task reports
+// a duration, so the coordinator may safely place a task on an idle slot
+// only when no in-flight task could possibly free its slot earlier: every
+// in-flight task on node n ends no earlier than start + TaskStartup /
+// SpeedOf(n). Whenever the earliest idle slot beats that bound strictly,
+// its placement is the one the serial executor would make next; otherwise
+// the coordinator waits for a completion and re-evaluates. With the
+// default nonzero TaskStartup this dispatches whole waves at once.
+//
+// Determinism of the task bodies themselves comes from per-node ordering:
+// each node has a FIFO queue served by one goroutine, so tasks sharing
+// that node's state (the per-machine lookup caches of §3.2) observe the
+// same access sequence as under the serial executor. State shared across
+// nodes must be synchronized and order-independent (atomic counters,
+// OR-able sketches); see the concurrency model note in DESIGN.md.
+type parWork struct {
+	seq   int // dispatch sequence, identifies the in-flight entry
+	task  int
+	start float64
+	local bool
+}
+
+type parDone struct {
+	node NodeID
+	work parWork
+	dur  float64
+}
+
+// schedulePhaseParallel executes task bodies on up to `workers` goroutines
+// (one semaphore slot per running body), keeping results bit-identical to
+// schedulePhaseSerial.
+func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int) PhaseResult {
+	res := PhaseResult{}
+	if len(tasks) == 0 {
+		return res
+	}
+	picker := newTaskPicker(tasks)
+	h := c.newSlotHeap(slotsPerNode)
+	totalSlots := c.cfg.Nodes * slotsPerNode
+	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
+	res.Assignments = make([]Assignment, 0, len(tasks))
+
+	sem := make(chan struct{}, workers)
+	// Each in-flight slot holds at most one task, so a totalSlots buffer
+	// guarantees node goroutines never block reporting completions.
+	done := make(chan parDone, totalSlots)
+	queues := make(map[NodeID]chan parWork, c.cfg.Nodes)
+	defer func() {
+		for _, q := range queues {
+			close(q)
+		}
+	}()
+	queueFor := func(node NodeID) chan parWork {
+		q, ok := queues[node]
+		if !ok {
+			q = make(chan parWork, len(tasks))
+			queues[node] = q
+			go func() {
+				for w := range q {
+					sem <- struct{}{}
+					dur := (c.cfg.TaskStartup + tasks[w.task].Run(node)) / c.cfg.SpeedOf(node)
+					<-sem
+					done <- parDone{node: node, work: w, dur: dur}
+				}
+			}()
+		}
+		return q
+	}
+
+	// inflight maps dispatch sequence → earliest possible virtual end of
+	// that task (its slot's free time plus the minimum task duration).
+	inflight := make(map[int]float64, totalSlots)
+	earliestInflight := func() float64 {
+		min := math.Inf(1)
+		for _, lb := range inflight {
+			if lb < min {
+				min = lb
+			}
+		}
+		return min
+	}
+
+	seq, scheduled, completed := 0, 0, 0
+	for completed < len(tasks) {
+		// Dispatch every placement the virtual clock has already decided:
+		// the earliest idle slot strictly precedes any possible in-flight
+		// completion, so it is exactly the slot the serial executor pops
+		// next.
+		for scheduled < len(tasks) && h.Len() > 0 && h[0].free < earliestInflight() {
+			s := heap.Pop(&h).(slot)
+			ti, local := picker.pick(s.node)
+			if ti < 0 {
+				break
+			}
+			w := parWork{seq: seq, task: ti, start: s.free, local: local}
+			inflight[seq] = s.free + c.cfg.TaskStartup/c.cfg.SpeedOf(s.node)
+			seq++
+			queueFor(s.node) <- w
+			scheduled++
+		}
+		d := <-done
+		completed++
+		delete(inflight, d.work.seq)
+		res.record(Assignment{Task: d.work.task, Node: d.node, Start: d.work.start, Duration: d.dur, Local: d.work.local})
+		heap.Push(&h, slot{node: d.node, free: d.work.start + d.dur})
+	}
+	res.sortAssignments()
+	return res
+}

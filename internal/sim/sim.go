@@ -10,7 +10,11 @@
 // are placed, stragglers extend the wave.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // NodeID identifies a machine in the simulated cluster. Node IDs are dense
 // integers in [0, Nodes).
@@ -52,6 +56,12 @@ type Config struct {
 	// the heterogeneity of "a dynamic cloud environment" the paper cites
 	// when arguing against pinning reducers to index hosts (footnote 3).
 	NodeSpeed []float64
+	// Parallelism bounds how many task bodies execute concurrently on
+	// real goroutines: 0 picks runtime.GOMAXPROCS(0) (the default), 1
+	// forces the in-loop serial executor, and n > 1 runs up to n bodies
+	// at once. Either executor produces bit-identical schedules, stats,
+	// and outputs; see SchedulePhase.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's testbed: 12 blade servers, 8 map and
@@ -86,6 +96,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: disk rate must be positive, got %g", c.DiskRate)
 	case c.DFSWriteCost < 0:
 		return fmt.Errorf("sim: DFS write cost must be non-negative, got %g", c.DFSWriteCost)
+	case c.Parallelism < 0:
+		return fmt.Errorf("sim: parallelism must be non-negative, got %d", c.Parallelism)
 	}
 	if c.NodeSpeed != nil {
 		if len(c.NodeSpeed) != c.Nodes {
@@ -111,7 +123,9 @@ func (c Config) SpeedOf(n NodeID) float64 {
 // Cluster is the shared simulated environment: configuration plus a
 // deterministic placement sequence for replica assignment.
 type Cluster struct {
-	cfg       Config
+	cfg Config
+
+	placeMu   sync.Mutex
 	placeNext int
 }
 
@@ -135,6 +149,16 @@ func (c *Cluster) MapSlots() int { return c.cfg.Nodes * c.cfg.MapSlotsPerNode }
 
 // ReduceSlots returns the total number of reduce slots across the cluster.
 func (c *Cluster) ReduceSlots() int { return c.cfg.Nodes * c.cfg.ReduceSlotsPerNode }
+
+// Workers returns the number of goroutines the parallel executor may run
+// task bodies on: Config.Parallelism, defaulting to runtime.GOMAXPROCS(0)
+// when unset.
+func (c *Cluster) Workers() int {
+	if c.cfg.Parallelism > 0 {
+		return c.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // TransferTime returns the virtual seconds needed to move n bytes between
 // two distinct machines. Transfers within one machine are free.
@@ -165,6 +189,8 @@ func (c *Cluster) DFSTime(bytes float64) float64 { return bytes * c.cfg.DFSWrite
 // replica set, advancing a deterministic round-robin cursor so placement is
 // spread but reproducible run to run.
 func (c *Cluster) PlaceReplicas(n int) []NodeID {
+	c.placeMu.Lock()
+	defer c.placeMu.Unlock()
 	if n > c.cfg.Nodes {
 		n = c.cfg.Nodes
 	}
