@@ -8,6 +8,7 @@
 //	efind-bench              # run everything at full scale
 //	efind-bench -quick       # run everything at quick (test) scale
 //	efind-bench -fig 11a     # run one experiment
+//	efind-bench -batch       # compare batched multi-get vs per-key lookups
 //	efind-bench -list        # list experiment IDs
 package main
 
@@ -24,6 +25,7 @@ func main() {
 	var (
 		fig   = flag.String("fig", "", "experiment ID to run (default: all)")
 		quick = flag.Bool("quick", false, "use the quick (test) scale instead of full scale")
+		batch = flag.Bool("batch", false, "run the batched multi-get vs per-key lookup comparison (Fig. 11(f) sweep)")
 		list  = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -43,6 +45,9 @@ func main() {
 	}
 
 	run := experiments.All()
+	if *batch {
+		run = []experiments.Experiment{*experiments.Find("batchcmp")}
+	}
 	if *fig != "" {
 		e := experiments.Find(*fig)
 		if e == nil {

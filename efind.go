@@ -43,6 +43,7 @@ import (
 	"efind/internal/core"
 	"efind/internal/dfs"
 	"efind/internal/index"
+	"efind/internal/ixclient"
 	"efind/internal/kvstore"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
@@ -93,8 +94,23 @@ type (
 	Strategy = core.Strategy
 	// Accessor is the index-side contract (the paper's IndexAccessor).
 	Accessor = index.Accessor
+	// BatchAccessor is an Accessor with a multi-get fast path.
+	BatchAccessor = index.BatchAccessor
 	// PartitionScheme describes a distributed index's partitioning.
 	PartitionScheme = index.Scheme
+	// IndexClient wraps an Accessor with the runtime's access pipeline
+	// (cache, error policy, retry, cost accounting, batching).
+	IndexClient = ixclient.Client
+	// IndexClientOptions configures an IndexClient.
+	IndexClientOptions = ixclient.Options
+	// ErrorPolicy decides what an index error does to a running job.
+	ErrorPolicy = ixclient.ErrorPolicy
+	// RetryPolicy configures transient-error retries and the lookup
+	// deadline of the access pipeline.
+	RetryPolicy = ixclient.RetryPolicy
+	// IndexError reports a failed index access under ErrorFailJob, naming
+	// the operator, index, and lookup key.
+	IndexError = ixclient.IndexError
 	// KVStore is the bundled distributed key-value index service.
 	KVStore = kvstore.Store
 	// CloudService is the bundled single-node dynamic index service.
@@ -119,6 +135,26 @@ const (
 	Repartition   = core.Repartition
 	IndexLocality = core.IndexLocality
 )
+
+// Index error policies (IndexJobConf.ErrorPolicy).
+const (
+	// ErrorCount counts index errors and continues with empty results
+	// (the paper's behaviour, and the default).
+	ErrorCount = core.ErrorCount
+	// ErrorFailJob fails the job on the first index error.
+	ErrorFailJob = core.ErrorFailJob
+)
+
+// ErrTransient marks an index error as retryable; accessors wrap it to
+// opt into the pipeline's retry middleware.
+var ErrTransient = index.ErrTransient
+
+// NewIndexClient wraps an Accessor with the runtime's index access
+// pipeline, for use outside of jobs (tools, generators, tests). Inside a
+// job the runtime builds the clients itself from IndexJobConf.
+func NewIndexClient(acc Accessor, opts IndexClientOptions) *IndexClient {
+	return ixclient.New(acc, opts)
+}
 
 // NewOperator builds an IndexOperator from pre/post functions (nil picks
 // defaults: key-as-lookup-key pre, append-results post).

@@ -5,13 +5,38 @@ import (
 
 	"efind/internal/dfs"
 	"efind/internal/index"
+	"efind/internal/ixclient"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
 )
 
 // DefaultCacheCapacity is the paper's lookup cache size (1024 index
 // key-value entries).
-const DefaultCacheCapacity = 1024
+const DefaultCacheCapacity = ixclient.DefaultCacheCapacity
+
+// ErrorPolicy and RetryPolicy configure the index client pipeline; they
+// are re-exported here so job configurations don't import ixclient.
+type (
+	// ErrorPolicy decides what an index error does to the running job.
+	ErrorPolicy = ixclient.ErrorPolicy
+	// RetryPolicy configures transient-error retries and the client-side
+	// lookup deadline.
+	RetryPolicy = ixclient.RetryPolicy
+)
+
+// Error policies.
+const (
+	// ErrorCount counts index errors and continues with empty results
+	// (the paper's behaviour, and the default).
+	ErrorCount = ixclient.ErrorCount
+	// ErrorFailJob fails the job on the first index error, reporting the
+	// index name and the lookup key.
+	ErrorFailJob = ixclient.ErrorFailJob
+)
+
+// DefaultBatchSize is the number of records buffered per task before the
+// batched inline stage flushes their lookups as multi-gets.
+const DefaultBatchSize = 64
 
 // Mode selects how the runtime chooses index access strategies.
 type Mode int
@@ -92,6 +117,23 @@ type IndexJobConf struct {
 	// (0 = the paper's "at most once"; exposed for the ablation bench).
 	MaxPlanChanges int
 
+	// ErrorPolicy decides what an index error does to the job: count and
+	// continue with an empty result (default, paper-faithful) or fail the
+	// job naming the index and key.
+	ErrorPolicy ErrorPolicy
+	// Retry configures transient-error retries and the client-side lookup
+	// deadline (zero value: no retries, no deadline — bit-identical to
+	// the pre-pipeline executor).
+	Retry RetryPolicy
+	// Batch enables record batching on inline lookups: carriers are
+	// buffered per task and their keys resolved via multi-gets, charged
+	// one network round trip per index partition instead of one per key.
+	// Off by default because it deviates from the paper's per-key cost
+	// model (DESIGN.md, "Index client pipeline").
+	Batch bool
+	// BatchSize is the per-task record buffer for Batch (0 = 64).
+	BatchSize int
+
 	head, body, tail []*Operator
 	forced           map[string]map[string]Strategy
 	forcedBoundary   map[string]map[string]Boundary
@@ -162,6 +204,9 @@ func (c *IndexJobConf) validate(rt *Runtime) error {
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = DefaultCacheCapacity
 	}
+	if c.Batch && c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
 	if c.VarianceThreshold <= 0 {
 		c.VarianceThreshold = 0.05
 	}
@@ -200,6 +245,11 @@ type JobResult struct {
 	JobsRun int
 	// Counters aggregates all task counters.
 	Counters map[string]int64
+	// IndexErrors reports, for every (operator, index) pair of the plan,
+	// how many index accesses failed, keyed "operator/index". It is always
+	// populated — zero entries included — so callers can tell "no errors"
+	// from "errors silently swallowed".
+	IndexErrors map[string]int64
 
 	raw []*mapreduce.Result
 }
@@ -222,14 +272,35 @@ func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
 	if err := conf.validate(rt); err != nil {
 		return nil, err
 	}
+	var res *JobResult
+	var err error
 	if conf.Mode == ModeDynamic {
-		return rt.runDynamic(conf)
+		res, err = rt.runDynamic(conf)
+	} else {
+		var plan *JobPlan
+		plan, err = rt.planFor(conf)
+		if err == nil {
+			res, err = rt.runPlan(conf, plan)
+		}
 	}
-	plan, err := rt.planFor(conf)
 	if err != nil {
 		return nil, err
 	}
-	return rt.runPlan(conf, plan)
+	fillIndexErrors(conf, res)
+	return res, nil
+}
+
+// fillIndexErrors reports the per-index error totals on the result, one
+// entry per (operator, index) pair of the job — zero entries included, so
+// "no errors" is visible rather than silently absent.
+func fillIndexErrors(conf *IndexJobConf, res *JobResult) {
+	res.IndexErrors = make(map[string]int64)
+	ops, _ := conf.Operators()
+	for _, o := range ops {
+		for _, a := range o.Indices() {
+			res.IndexErrors[o.Name()+"/"+a.Name()] = res.Counters[ixclient.CtrErrors(o.Name(), a.Name())]
+		}
+	}
 }
 
 // CollectStats runs the job once under the baseline plan purely to
@@ -391,7 +462,7 @@ func (co *compiled) attemptGuard(node sim.NodeID) func() {
 func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, error) {
 	co := &compiled{execs: make(map[string]*opExec)}
 	for _, p := range plan.All() {
-		co.execs[p.Op.Name()] = newOpExec(p.Op, p, conf.CacheCapacity)
+		co.execs[p.Op.Name()] = newOpExec(p.Op, p, conf)
 	}
 
 	cur := &cjob{name: fmt.Sprintf("%s-j0", conf.Name)}

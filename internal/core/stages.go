@@ -1,189 +1,81 @@
 package core
 
 import (
-	"sync"
-
-	"efind/internal/index"
-	"efind/internal/lru"
+	"efind/internal/ixclient"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
 )
 
-// opExec is the runtime state of one operator under one plan: node-shared
-// lookup caches (real and shadow) plus the stage builders that compile the
-// plan into chained MapReduce functions. Tasks of different nodes execute
-// concurrently under the parallel engine, so the lazily-built nested cache
-// maps are guarded by mu; the caches themselves are per-node and each
-// node's tasks are serialized by the executor.
+// opExec is the runtime state of one operator under one plan: one index
+// client per plan decision, plus the stage builders that compile the plan
+// into chained MapReduce functions. All caching, retry, error-policy, and
+// cost-accounting behaviour lives inside the clients (internal/ixclient);
+// this file only contains strategy logic — which key is resolved where,
+// and how results travel between jobs.
 type opExec struct {
-	op       *Operator
-	plan     OperatorPlan
-	cacheCap int
+	op        *Operator
+	plan      OperatorPlan
+	batchSize int
 
-	mu      sync.Mutex
-	caches  map[int]map[sim.NodeID]*lru.Cache // decision position → node → cache
-	shadows map[int]map[sim.NodeID]*lru.Cache
+	// clients is indexed by decision position. Decisions with an inline
+	// strategy get a caching client (real for LookupCache, shadow for
+	// Baseline); shuffle decisions get a cache-less client, because their
+	// group lookups are already deduplicated by the shuffle.
+	clients []*ixclient.Client
 }
 
-func newOpExec(op *Operator, plan OperatorPlan, cacheCap int) *opExec {
-	if cacheCap <= 0 {
-		cacheCap = DefaultCacheCapacity
+func newOpExec(op *Operator, plan OperatorPlan, conf *IndexJobConf) *opExec {
+	x := &opExec{
+		op:      op,
+		plan:    plan,
+		clients: make([]*ixclient.Client, len(plan.Decisions)),
 	}
-	return &opExec{
-		op:       op,
-		plan:     plan,
-		cacheCap: cacheCap,
-		caches:   make(map[int]map[sim.NodeID]*lru.Cache),
-		shadows:  make(map[int]map[sim.NodeID]*lru.Cache),
+	if conf.Batch {
+		x.batchSize = conf.BatchSize
 	}
-}
-
-// cacheFor returns the node's lookup cache for the decision at pos,
-// creating it lazily. The cache is shared by all tasks on the node,
-// matching the paper's per-machine lookup cache.
-func (x *opExec) cacheFor(pos int, node sim.NodeID, shadow bool) *lru.Cache {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	m := x.caches
-	if shadow {
-		m = x.shadows
-	}
-	byNode, ok := m[pos]
-	if !ok {
-		byNode = make(map[sim.NodeID]*lru.Cache)
-		m[pos] = byNode
-	}
-	c, ok := byNode[node]
-	if !ok {
-		c = lru.New(x.cacheCap)
-		byNode[node] = c
-	}
-	return c
-}
-
-// nodeCaches collects the operator's existing caches (real and shadow)
-// for one node.
-func (x *opExec) nodeCaches(node sim.NodeID) []*lru.Cache {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	var out []*lru.Cache
-	for _, m := range []map[int]map[sim.NodeID]*lru.Cache{x.caches, x.shadows} {
-		for _, byNode := range m {
-			if c, ok := byNode[node]; ok {
-				out = append(out, c)
-			}
+	for pos, d := range plan.Decisions {
+		mode := ixclient.CacheOff
+		switch d.Strategy {
+		case LookupCache:
+			mode = ixclient.CacheReal
+		case Baseline:
+			mode = ixclient.CacheShadow
 		}
+		x.clients[pos] = ixclient.New(op.Indices()[d.Index], ixclient.Options{
+			Op:            op.Name(),
+			CacheMode:     mode,
+			CacheCapacity: conf.CacheCapacity,
+			ErrorPolicy:   conf.ErrorPolicy,
+			Retry:         conf.Retry,
+			Batch:         conf.Batch,
+		})
 	}
-	return out
+	return x
 }
 
-// snapshotNode captures the state of the operator's caches on one node and
-// returns a rollback that rewinds them, resetting any cache the node
-// created after the snapshot. The engine's fault tolerance uses it so a
-// failed task attempt does not leave the node's shared caches warmed —
-// which would skew the measured miss ratio R the cost model consumes.
+// snapshotNode captures the state of the operator's clients' caches on one
+// node and returns a rollback that rewinds them (see Client.SnapshotNode).
 func (x *opExec) snapshotNode(node sim.NodeID) func() {
-	caches := x.nodeCaches(node)
-	snaps := make([]*lru.Snapshot, len(caches))
-	for i, c := range caches {
-		snaps[i] = c.Snapshot()
+	rollbacks := make([]func(), len(x.clients))
+	for i, c := range x.clients {
+		rollbacks[i] = c.SnapshotNode(node)
 	}
 	return func() {
-		known := make(map[*lru.Cache]bool, len(caches))
-		for i, c := range caches {
-			c.Restore(snaps[i])
-			known[c] = true
-		}
-		for _, c := range x.nodeCaches(node) {
-			if !known[c] {
-				c.Reset()
-			}
+		for _, rb := range rollbacks {
+			rb()
 		}
 	}
-}
-
-// valueBytes sizes a lookup result the way the wire format would.
-func valueBytes(values []string) int {
-	n := 0
-	for _, v := range values {
-		n += len(v) + 4
-	}
-	return n
-}
-
-// realLookup performs one actual index access from the given node,
-// charging the serve time T_j plus network transfer when no replica of the
-// key's partition lives on the node.
-func (x *opExec) realLookup(ctx *mapreduce.TaskContext, a index.Accessor, ik string) []string {
-	opName := x.op.Name()
-	values, err := a.Lookup(ik)
-	if err != nil {
-		// Index errors surface as a counter and an empty result; EFind
-		// treats indices as black boxes and cannot retry more sensibly.
-		ctx.Inc("efind."+opName+".ix."+a.Name()+".errors", 1)
-		values = nil
-	}
-	serve := a.ServeTime()
-	ctx.Charge(serve)
-	ctx.Inc(ctrServeNS(opName, a.Name()), int64(serve*1e9))
-	ctx.Inc(ctrLookups(opName, a.Name()), 1)
-	hosts := a.HostsFor(ik)
-	if hosts == nil || !sim.ContainsNode(hosts, ctx.Node) {
-		ctx.ChargeNet(float64(len(ik) + 4 + valueBytes(values)))
-	}
-	return values
-}
-
-// countKey records the per-key statistics (Nik, Sik, the FM sketch) for
-// one extracted lookup key.
-func (x *opExec) countKey(ctx *mapreduce.TaskContext, pos int, ik string) {
-	a := x.op.Indices()[x.plan.Decisions[pos].Index]
-	op := x.op.Name()
-	ctx.Inc(ctrKeys(op, a.Name()), 1)
-	ctx.Inc(ctrKeyBytes(op, a.Name()), int64(len(ik)))
-	ctx.Sketch(skKeys(op, a.Name()), fmWidth).Add(ik)
-}
-
-// countValues records Siv for one key occurrence once its values are
-// known (from the index, the cache, or a shuffle-attached result).
-func (x *opExec) countValues(ctx *mapreduce.TaskContext, pos int, values []string) {
-	a := x.op.Indices()[x.plan.Decisions[pos].Index]
-	ctx.Inc(ctrValBytes(x.op.Name(), a.Name()), int64(valueBytes(values)))
 }
 
 // lookupInline resolves one key under the decision at pos using the
-// Baseline or LookupCache strategy. Baseline additionally probes a
-// key-only shadow cache so the miss ratio R is measured without the cache
-// being active (§4.2's "simple version of the lookup cache").
+// Baseline or LookupCache strategy, via the decision's client (which owns
+// the real or shadow cache, §3.2/§4.2), recording the key and result
+// statistics.
 func (x *opExec) lookupInline(ctx *mapreduce.TaskContext, pos int, ik string) []string {
-	d := x.plan.Decisions[pos]
-	a := x.op.Indices()[d.Index]
-	opName := x.op.Name()
-	x.countKey(ctx, pos, ik)
-
-	var values []string
-	switch d.Strategy {
-	case LookupCache:
-		ctx.Charge(ctx.Cluster().Config().CacheProbeTime)
-		ctx.Inc(ctrProbes(opName, a.Name()), 1)
-		cache := x.cacheFor(pos, ctx.Node, false)
-		if hit, ok := cache.Get(ik); ok {
-			values = hit
-		} else {
-			ctx.Inc(ctrMisses(opName, a.Name()), 1)
-			values = x.realLookup(ctx, a, ik)
-			cache.Put(ik, values)
-		}
-	default: // Baseline (shuffle strategies never reach inline lookup)
-		shadow := x.cacheFor(pos, ctx.Node, true)
-		ctx.Inc(ctrProbes(opName, a.Name()), 1)
-		if _, ok := shadow.Get(ik); !ok {
-			ctx.Inc(ctrMisses(opName, a.Name()), 1)
-			shadow.Put(ik, nil)
-		}
-		values = x.realLookup(ctx, a, ik)
-	}
-	x.countValues(ctx, pos, values)
+	cl := x.clients[pos]
+	cl.CountKey(ctx, ik)
+	values := cl.Lookup(ctx, ik)
+	cl.CountValues(ctx, values)
 	return values
 }
 
@@ -213,7 +105,6 @@ func (x *opExec) runPreInstrumented(ctx *mapreduce.TaskContext, in Pair) *carrie
 // runs postProcess, emitting (k2, v2) pairs. Decisions before startPos
 // must already have results attached (by shuffle jobs).
 func (x *opExec) finishCarrier(ctx *mapreduce.TaskContext, c *carrier, startPos int, emit Emit) {
-	op := x.op.Name()
 	for pos := startPos; pos < len(x.plan.Decisions); pos++ {
 		d := x.plan.Decisions[pos]
 		if d.Index >= len(c.Keys) {
@@ -226,6 +117,12 @@ func (x *opExec) finishCarrier(ctx *mapreduce.TaskContext, c *carrier, startPos 
 		}
 		c.Results[d.Index] = results
 	}
+	x.emitPost(ctx, c, emit)
+}
+
+// emitPost charges the carrier's post-lookup size and runs postProcess.
+func (x *opExec) emitPost(ctx *mapreduce.TaskContext, c *carrier, emit Emit) {
+	op := x.op.Name()
 	ctx.Inc(ctrIdxBytes(op), int64(c.size()))
 	x.op.runPost(c.Pair, c.Results, func(p Pair) {
 		ctx.Inc(ctrPostRecords(op), 1)
@@ -239,12 +136,75 @@ func (x *opExec) finishCarrier(ctx *mapreduce.TaskContext, c *carrier, startPos 
 // within the enclosing task (Figure 6's baseline layout; the lookup-cache
 // strategy only changes how lookups resolve).
 func (x *opExec) inlineStage() mapreduce.StageFactory {
+	if x.batchSize > 0 {
+		return x.batchedInlineStage()
+	}
 	return func(node sim.NodeID) mapreduce.Stage {
 		return &mapreduce.FuncStage{
 			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
 				c := x.runPreInstrumented(ctx, in)
 				x.finishCarrier(ctx, c, 0, emit)
 			},
+		}
+	}
+}
+
+// batchedInlineStage is inlineStage with record batching: carriers are
+// buffered (per task) up to the configured batch size, and each flush
+// resolves all buffered keys of each decision through one LookupBatch
+// call, which lets BatchAccessor indices answer with one multi-get per
+// partition. The output records are identical to the unbatched stage, in
+// the same order; only the charged access cost differs (DESIGN.md,
+// "Index client pipeline").
+func (x *opExec) batchedInlineStage() mapreduce.StageFactory {
+	return func(node sim.NodeID) mapreduce.Stage {
+		var buf []*carrier
+		flush := func(ctx *mapreduce.TaskContext, emit Emit) {
+			if len(buf) == 0 {
+				return
+			}
+			for pos := range x.plan.Decisions {
+				d := x.plan.Decisions[pos]
+				cl := x.clients[pos]
+				var keys []string
+				for _, c := range buf {
+					if d.Index >= len(c.Keys) {
+						continue
+					}
+					for _, ik := range c.Keys[d.Index] {
+						cl.CountKey(ctx, ik)
+						keys = append(keys, ik)
+					}
+				}
+				vals := cl.LookupBatch(ctx, keys)
+				i := 0
+				for _, c := range buf {
+					if d.Index >= len(c.Keys) {
+						continue
+					}
+					ks := c.Keys[d.Index]
+					results := make([]KeyResult, 0, len(ks))
+					for _, ik := range ks {
+						cl.CountValues(ctx, vals[i])
+						results = append(results, KeyResult{Key: ik, Values: vals[i]})
+						i++
+					}
+					c.Results[d.Index] = results
+				}
+			}
+			for _, c := range buf {
+				x.emitPost(ctx, c, emit)
+			}
+			buf = buf[:0]
+		}
+		return &mapreduce.FuncStage{
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				buf = append(buf, x.runPreInstrumented(ctx, in))
+				if len(buf) >= x.batchSize {
+					flush(ctx, emit)
+				}
+			},
+			OnClose: flush,
 		}
 	}
 }
@@ -271,13 +231,13 @@ func (x *opExec) resumeStage(pos int, memoFirst bool) mapreduce.StageFactory {
 					d := x.plan.Decisions[pos]
 					if d.Index < len(c.Keys) && len(c.Keys[d.Index]) > 0 {
 						ik := c.Keys[d.Index][0]
-						x.countKey(ctx, pos, ik)
+						cl := x.clients[pos]
+						cl.CountKey(ctx, ik)
 						if !memoValid || memoKey != ik {
-							a := x.op.Indices()[d.Index]
-							memoVals = x.realLookup(ctx, a, ik)
+							memoVals = cl.Access(ctx, ik)
 							memoKey, memoValid = ik, true
 						}
-						x.countValues(ctx, pos, memoVals)
+						cl.CountValues(ctx, memoVals)
 						c.Results[d.Index] = []KeyResult{{Key: ik, Values: memoVals}}
 					}
 					next = pos + 1
@@ -353,8 +313,7 @@ func (x *opExec) groupReduce(pos int, boundary Boundary, emitNextPos int, contin
 		var lookedUp []string
 		doLookup := boundary != BoundaryPre && !pass
 		if doLookup {
-			a := x.op.Indices()[d.Index]
-			lookedUp = x.realLookup(ctx, a, key)
+			lookedUp = x.clients[pos].Access(ctx, key)
 		}
 
 		var contPipe *reducePipe
@@ -370,8 +329,9 @@ func (x *opExec) groupReduce(pos int, boundary Boundary, emitNextPos int, contin
 				continue
 			}
 			if doLookup && d.Index < len(c.Results) {
-				x.countKey(ctx, pos, key)
-				x.countValues(ctx, pos, lookedUp)
+				cl := x.clients[pos]
+				cl.CountKey(ctx, key)
+				cl.CountValues(ctx, lookedUp)
 				c.Results[d.Index] = []KeyResult{{Key: key, Values: lookedUp}}
 			}
 			switch {

@@ -6,35 +6,43 @@ import (
 	"sort"
 	"sync"
 
+	"efind/internal/ixclient"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
 	"efind/internal/sketch"
 )
 
 // Counter name helpers: EFind statistics ride on MapReduce counters
-// (§4.2), namespaced per operator and per index.
-func ctrPreIn(op string) string        { return "efind." + op + ".pre.in.records" }
-func ctrPreInBytes(op string) string   { return "efind." + op + ".pre.in.bytes" }
-func ctrPreOutBytes(op string) string  { return "efind." + op + ".pre.out.bytes" }
-func ctrIdxBytes(op string) string     { return "efind." + op + ".idx.out.bytes" }
-func ctrPostBytes(op string) string    { return "efind." + op + ".post.out.bytes" }
-func ctrPostRecords(op string) string  { return "efind." + op + ".post.out.records" }
-func ctrKeys(op, ix string) string     { return "efind." + op + ".ix." + ix + ".keys" }
-func ctrKeyBytes(op, ix string) string { return "efind." + op + ".ix." + ix + ".key.bytes" }
-func ctrValBytes(op, ix string) string { return "efind." + op + ".ix." + ix + ".val.bytes" }
-func ctrLookups(op, ix string) string  { return "efind." + op + ".ix." + ix + ".lookups" }
-func ctrServeNS(op, ix string) string  { return "efind." + op + ".ix." + ix + ".serve.ns" }
-func ctrProbes(op, ix string) string   { return "efind." + op + ".ix." + ix + ".cache.probes" }
-func ctrMisses(op, ix string) string   { return "efind." + op + ".ix." + ix + ".cache.misses" }
-func ctrMulti(op, ix string) string    { return "efind." + op + ".ix." + ix + ".multikey" }
-func skKeys(op, ix string) string      { return "efind." + op + ".ix." + ix + ".fm" }
+// (§4.2), namespaced per operator. The per-operator record/byte counters
+// live here; the per-index counters are owned by the index client pipeline
+// (internal/ixclient), which maintains them, and are aliased for the
+// statistics collector below.
+func ctrPreIn(op string) string       { return "efind." + op + ".pre.in.records" }
+func ctrPreInBytes(op string) string  { return "efind." + op + ".pre.in.bytes" }
+func ctrPreOutBytes(op string) string { return "efind." + op + ".pre.out.bytes" }
+func ctrIdxBytes(op string) string    { return "efind." + op + ".idx.out.bytes" }
+func ctrPostBytes(op string) string   { return "efind." + op + ".post.out.bytes" }
+func ctrPostRecords(op string) string { return "efind." + op + ".post.out.records" }
+
+// Per-index counter names, defined by the index client pipeline.
+var (
+	ctrKeys     = ixclient.CtrKeys
+	ctrKeyBytes = ixclient.CtrKeyBytes
+	ctrValBytes = ixclient.CtrValBytes
+	ctrLookups  = ixclient.CtrLookups
+	ctrServeNS  = ixclient.CtrServeNS
+	ctrProbes   = ixclient.CtrProbes
+	ctrMisses   = ixclient.CtrMisses
+	ctrMulti    = ixclient.CtrMulti
+	skKeys      = ixclient.SkKeys
+)
 
 // ctrMapOutBytes measures the paper's Smap term (output size of the
 // original Map per input record of the head operators).
 const (
 	ctrMapOutBytes   = "efind.map.out.bytes"
 	ctrMapOutRecords = "efind.map.out.records"
-	fmWidth          = 64
+	fmWidth          = ixclient.FMWidth
 )
 
 // IndexStats aggregates one (operator, index) pair's Table 1 terms.

@@ -6,7 +6,11 @@
 // consumes this interface.
 package index
 
-import "efind/internal/sim"
+import (
+	"errors"
+
+	"efind/internal/sim"
+)
 
 // Accessor is the paper's IndexAccessor: one implementation per index
 // type, reusable across jobs. Lookup takes an index key ik and returns the
@@ -45,3 +49,19 @@ type Partitioned interface {
 	Accessor
 	Scheme() *Scheme
 }
+
+// BatchAccessor is implemented by indices that offer a multi-get fast
+// path: one request resolves many keys, letting the client charge one
+// network round trip per index partition instead of one per key. Results
+// align positionally with the requested keys.
+type BatchAccessor interface {
+	Accessor
+	BatchLookup(keys []string) ([][]string, error)
+}
+
+// ErrTransient marks an index error as retryable: accessors wrap it
+// (fmt.Errorf("...: %w", index.ErrTransient)) to tell the client's retry
+// middleware that re-attempting the lookup could succeed. Errors not
+// marked transient fail fast — a deterministic logic error would fail
+// identically on every attempt.
+var ErrTransient = errors.New("transient index error")

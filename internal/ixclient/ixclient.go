@@ -1,0 +1,333 @@
+// Package ixclient is the index access path of the EFind runtime: a
+// Client wraps any index.Accessor with a stack of composable middleware
+// so the executor's strategy logic only ever asks "values for this key,
+// please" and every cross-cutting concern lives in exactly one place:
+//
+//   - cache: the paper's per-node LRU lookup cache (§3.2), real for the
+//     lookup-cache strategy and key-only shadow for the baseline's
+//     R-measurement, including the per-attempt snapshot/rollback the
+//     engine's fault tolerance needs;
+//   - policy: the error policy — count-and-continue (paper-faithful) or
+//     fail the job with the index name and lookup key;
+//   - retry: deterministic exponential backoff for transient index
+//     errors, plus an optional client-side deadline;
+//   - accounting: the serve-time charge T_j, network transfer charges,
+//     lookup/probe/miss/error counters, and the Nik/Sik/FM-sketch
+//     statistics the optimizer consumes;
+//   - terminal: the accessor itself, with a multi-get fast path for
+//     BatchAccessor indices when batching is enabled.
+//
+// The stack is assembled once per (operator decision, index) pair. With
+// batching off, the chain charges and counts bit-identically to the
+// pre-refactor executor; batching is the one deliberate cost deviation
+// (see DESIGN.md, "Index client pipeline").
+package ixclient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"efind/internal/index"
+	"efind/internal/lru"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+)
+
+// CacheMode selects how the client's Lookup path uses the per-node cache.
+type CacheMode int
+
+// Cache modes.
+const (
+	// CacheOff bypasses the cache entirely (shuffle-strategy group
+	// lookups are already deduplicated by the shuffle).
+	CacheOff CacheMode = iota
+	// CacheShadow probes a key-only shadow cache to measure the miss
+	// ratio R without the cache being active (§4.2's "simple version of
+	// the lookup cache"), then always performs the real lookup.
+	CacheShadow
+	// CacheReal serves hits from the per-node LRU cache and performs the
+	// real lookup only on misses (the lookup-cache strategy, §3.2).
+	CacheReal
+)
+
+// ErrorPolicy decides what an index error does to the running job.
+type ErrorPolicy int
+
+// Error policies.
+const (
+	// ErrorCount charges the failed access, bumps the per-index error
+	// counter, and yields an empty result — the paper's behaviour:
+	// indices are black boxes and EFind cannot retry more sensibly.
+	ErrorCount ErrorPolicy = iota
+	// ErrorFailJob aborts the running task — and with it the job — on
+	// the first index error, reporting the index name and lookup key.
+	ErrorFailJob
+)
+
+// RetryPolicy configures the retry middleware. The zero value disables
+// retries and the deadline, which keeps the chain bit-identical to the
+// pre-middleware executor.
+type RetryPolicy struct {
+	// Max is the number of re-attempts after the first failed access.
+	Max int
+	// Backoff is the virtual time charged before the first re-attempt.
+	Backoff float64
+	// Factor multiplies the backoff between attempts (0 = 2).
+	Factor float64
+	// Timeout is a client-side deadline: an index whose serve time
+	// exceeds it has the access abandoned after Timeout virtual seconds
+	// and surfaces a transient error (0 = no deadline).
+	Timeout float64
+}
+
+// Options configures a Client.
+type Options struct {
+	// Op is the operator name for counter namespacing.
+	Op string
+	// CacheMode selects the Lookup path's cache behaviour.
+	CacheMode CacheMode
+	// CacheCapacity bounds each per-node cache (0 = 1024, the paper's).
+	CacheCapacity int
+	// ErrorPolicy decides what index errors do to the job.
+	ErrorPolicy ErrorPolicy
+	// Retry configures transient-error retries and the deadline.
+	Retry RetryPolicy
+	// Batch enables the multi-get fast path: LookupBatch forwards cache
+	// misses as one request, resolved via BatchAccessor when the index
+	// implements it, charged one network round trip per remote partition
+	// group instead of one per remote key.
+	Batch bool
+}
+
+// DefaultCacheCapacity is the paper's lookup cache size (1024 entries).
+const DefaultCacheCapacity = 1024
+
+// Request is one index access travelling through the middleware chain.
+type Request struct {
+	// Task is the executing task's context; charges and counters land on
+	// it, and Task.Node keys the per-node caches.
+	Task *mapreduce.TaskContext
+	// Keys are the lookup keys. Single lookups are 1-element requests.
+	Keys []string
+	// Batched marks the request as eligible for the multi-get fast path.
+	Batched bool
+}
+
+// Handler resolves a request to one value list per key.
+type Handler func(*Request) ([][]string, error)
+
+// Middleware wraps a handler with one orthogonal concern.
+type Middleware func(Handler) Handler
+
+// Chain wraps h in the given middleware, first element innermost.
+func Chain(h Handler, mw ...Middleware) Handler {
+	for _, m := range mw {
+		h = m(h)
+	}
+	return h
+}
+
+// IndexError reports a failed index access under ErrorFailJob.
+type IndexError struct {
+	Op, Index, Key string
+	Err            error
+}
+
+func (e *IndexError) Error() string {
+	return fmt.Sprintf("efind: operator %q index %q: lookup key %q: %v", e.Op, e.Index, e.Key, e.Err)
+}
+
+func (e *IndexError) Unwrap() error { return e.Err }
+
+// ErrTimeout marks a lookup abandoned at the client-side deadline. It is
+// transient: retrying against a replica or a recovered index could
+// succeed, so the retry middleware re-attempts it.
+var ErrTimeout = fmt.Errorf("lookup deadline exceeded: %w", index.ErrTransient)
+
+// lookupError carries the failing key up the chain so the job-failure
+// report can name it.
+type lookupError struct {
+	key string
+	err error
+}
+
+func (e *lookupError) Error() string { return fmt.Sprintf("key %q: %v", e.key, e.err) }
+func (e *lookupError) Unwrap() error { return e.err }
+
+// Client is the batched, cached, retrying, accounted view of one index
+// from one operator decision. It is safe for concurrent use: tasks of
+// different nodes run on real goroutines, and all mutable state (the
+// per-node caches) is guarded.
+type Client struct {
+	acc     index.Accessor
+	batcher index.BatchAccessor // nil when the accessor has no multi-get
+	scheme  *index.Scheme       // nil when the accessor is not partitioned
+	opts    Options
+
+	inline Handler // cache → policy → retry → accounting → terminal
+	direct Handler // the same chain without the cache stage
+
+	mu     sync.Mutex
+	real   map[sim.NodeID]*lru.Cache
+	shadow map[sim.NodeID]*lru.Cache
+}
+
+// New wraps an accessor with the middleware stack configured by opts.
+func New(acc index.Accessor, opts Options) *Client {
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = DefaultCacheCapacity
+	}
+	c := &Client{
+		acc:    acc,
+		opts:   opts,
+		real:   make(map[sim.NodeID]*lru.Cache),
+		shadow: make(map[sim.NodeID]*lru.Cache),
+	}
+	if b, ok := acc.(index.BatchAccessor); ok {
+		c.batcher = b
+	}
+	if p, ok := acc.(index.Partitioned); ok {
+		c.scheme = p.Scheme()
+	}
+	c.direct = Chain(c.terminal, c.accounting, c.retry, c.policy)
+	c.inline = c.direct
+	if opts.CacheMode != CacheOff {
+		c.inline = Chain(c.direct, c.cache)
+	}
+	return c
+}
+
+// Accessor returns the wrapped index.
+func (c *Client) Accessor() index.Accessor { return c.acc }
+
+// Lookup resolves one key through the full stack (cache per the client's
+// CacheMode, then retry, accounting, and the index itself).
+func (c *Client) Lookup(t *mapreduce.TaskContext, key string) []string {
+	vals, err := c.inline(&Request{Task: t, Keys: []string{key}})
+	if err != nil {
+		c.abort(t, err, key)
+	}
+	return vals[0]
+}
+
+// Access resolves one key bypassing the cache stage — the shuffle
+// strategies' group lookups are already deduplicated, so caching them
+// would double-count the redundancy the shuffle removed.
+func (c *Client) Access(t *mapreduce.TaskContext, key string) []string {
+	vals, err := c.direct(&Request{Task: t, Keys: []string{key}})
+	if err != nil {
+		c.abort(t, err, key)
+	}
+	return vals[0]
+}
+
+// LookupBatch resolves many keys. With batching off (or an index without
+// a multi-get) it degenerates to per-key Lookup calls and is charged
+// identically to them; with batching on, cache misses travel as one
+// request and remote partitions are charged one round trip each.
+func (c *Client) LookupBatch(t *mapreduce.TaskContext, keys []string) [][]string {
+	if len(keys) == 0 {
+		return nil
+	}
+	if !c.opts.Batch || c.batcher == nil {
+		out := make([][]string, len(keys))
+		for i, k := range keys {
+			out[i] = c.Lookup(t, k)
+		}
+		return out
+	}
+	vals, err := c.inline(&Request{Task: t, Keys: keys, Batched: true})
+	if err != nil {
+		c.abort(t, err, keys[0])
+	}
+	return vals
+}
+
+// CountKey records the per-key statistics (Nik, Sik, the FM sketch) for
+// one extracted lookup key occurrence.
+func (c *Client) CountKey(t *mapreduce.TaskContext, key string) {
+	op, ix := c.opts.Op, c.acc.Name()
+	t.Inc(CtrKeys(op, ix), 1)
+	t.Inc(CtrKeyBytes(op, ix), int64(len(key)))
+	t.Sketch(SkKeys(op, ix), FMWidth).Add(key)
+}
+
+// CountValues records Siv for one key occurrence once its values are
+// known (from the index, the cache, or a shuffle-attached result).
+func (c *Client) CountValues(t *mapreduce.TaskContext, values []string) {
+	t.Inc(CtrValBytes(c.opts.Op, c.acc.Name()), int64(valueBytes(values)))
+}
+
+// abort fails the running task under ErrorFailJob. ErrorCount errors
+// never reach here — the policy stage swallows them.
+func (c *Client) abort(t *mapreduce.TaskContext, err error, fallbackKey string) {
+	key := fallbackKey
+	var le *lookupError
+	if errors.As(err, &le) {
+		key = le.key
+		err = le.err
+	}
+	t.Abort(&IndexError{Op: c.opts.Op, Index: c.acc.Name(), Key: key, Err: err})
+}
+
+// cacheFor returns the node's cache (real or shadow), creating it lazily.
+// The cache is shared by all tasks on the node, matching the paper's
+// per-machine lookup cache.
+func (c *Client) cacheFor(node sim.NodeID, shadow bool) *lru.Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.real
+	if shadow {
+		m = c.shadow
+	}
+	cc, ok := m[node]
+	if !ok {
+		cc = lru.New(c.opts.CacheCapacity)
+		m[node] = cc
+	}
+	return cc
+}
+
+// SnapshotNode captures the client's cache state on one node and returns
+// a rollback that rewinds it, resetting any cache the node created after
+// the snapshot. The engine's fault tolerance uses it so a failed task
+// attempt does not leave the node's shared caches warmed — which would
+// skew the measured miss ratio R the cost model consumes.
+func (c *Client) SnapshotNode(node sim.NodeID) func() {
+	type snap struct {
+		cache *lru.Cache
+		state *lru.Snapshot
+	}
+	c.mu.Lock()
+	var snaps []snap
+	for _, m := range []map[sim.NodeID]*lru.Cache{c.real, c.shadow} {
+		if cc, ok := m[node]; ok {
+			snaps = append(snaps, snap{cc, cc.Snapshot()})
+		}
+	}
+	c.mu.Unlock()
+	return func() {
+		known := make(map[*lru.Cache]bool, len(snaps))
+		for _, s := range snaps {
+			s.cache.Restore(s.state)
+			known[s.cache] = true
+		}
+		c.mu.Lock()
+		for _, m := range []map[sim.NodeID]*lru.Cache{c.real, c.shadow} {
+			if cc, ok := m[node]; ok && !known[cc] {
+				cc.Reset()
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// valueBytes sizes a lookup result the way the wire format would.
+func valueBytes(values []string) int {
+	n := 0
+	for _, v := range values {
+		n += len(v) + 4
+	}
+	return n
+}

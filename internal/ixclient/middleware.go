@@ -1,0 +1,229 @@
+package ixclient
+
+import (
+	"errors"
+
+	"efind/internal/index"
+	"efind/internal/mapreduce"
+	"efind/internal/sim"
+)
+
+// cache is the outermost stage of the inline chain. CacheReal serves hits
+// locally and forwards only misses; CacheShadow records probe/miss
+// statistics on a key-only cache and forwards everything. Results that
+// come back without error are cached — including the empty results the
+// policy stage substitutes for counted errors, exactly as the
+// pre-middleware executor cached the nil result of a failed lookup.
+func (c *Client) cache(next Handler) Handler {
+	op, ix := c.opts.Op, c.acc.Name()
+	probes, misses := CtrProbes(op, ix), CtrMisses(op, ix)
+	if c.opts.CacheMode == CacheShadow {
+		return func(r *Request) ([][]string, error) {
+			shadow := c.cacheFor(r.Task.Node, true)
+			for _, k := range r.Keys {
+				r.Task.Inc(probes, 1)
+				if _, ok := shadow.Get(k); !ok {
+					r.Task.Inc(misses, 1)
+					shadow.Put(k, nil)
+				}
+			}
+			return next(r)
+		}
+	}
+	return func(r *Request) ([][]string, error) {
+		t := r.Task
+		cache := c.cacheFor(t.Node, false)
+		probeTime := t.Cluster().Config().CacheProbeTime
+		out := make([][]string, len(r.Keys))
+		var missIdx []int
+		for i, k := range r.Keys {
+			t.Charge(probeTime)
+			t.Inc(probes, 1)
+			if hit, ok := cache.Get(k); ok {
+				out[i] = hit
+			} else {
+				t.Inc(misses, 1)
+				missIdx = append(missIdx, i)
+			}
+		}
+		if len(missIdx) == 0 {
+			return out, nil
+		}
+		missKeys := make([]string, len(missIdx))
+		for j, i := range missIdx {
+			missKeys[j] = r.Keys[i]
+		}
+		vals, err := next(&Request{Task: t, Keys: missKeys, Batched: r.Batched})
+		if err != nil {
+			return out, err
+		}
+		for j, i := range missIdx {
+			out[i] = vals[j]
+			cache.Put(r.Keys[i], vals[j])
+		}
+		return out, nil
+	}
+}
+
+// policy applies the error policy to an access whose retries (if any) are
+// exhausted: the error counter ticks once per failed access, not per
+// attempt. ErrorCount then swallows the error, substituting empty results
+// so downstream (the cache stage, postProcess) sees a normal lookup that
+// found nothing — the paper-faithful behaviour. ErrorFailJob lets the
+// error climb to the Client entry points, which abort the task.
+func (c *Client) policy(next Handler) Handler {
+	errs := CtrErrors(c.opts.Op, c.acc.Name())
+	return func(r *Request) ([][]string, error) {
+		vals, err := next(r)
+		if err != nil {
+			r.Task.Inc(errs, 1)
+			if c.opts.ErrorPolicy == ErrorCount {
+				if vals == nil {
+					vals = make([][]string, len(r.Keys))
+				}
+				return vals, nil
+			}
+		}
+		return vals, err
+	}
+}
+
+// retry re-attempts transient failures with deterministic exponential
+// backoff, charged as virtual time. Only errors marked transient
+// (index.ErrTransient, e.g. the client-side deadline) are retried; a
+// deterministic logic error would fail identically every attempt.
+func (c *Client) retry(next Handler) Handler {
+	p := c.opts.Retry
+	if p.Max <= 0 {
+		return next
+	}
+	factor := p.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	retries := CtrRetries(c.opts.Op, c.acc.Name())
+	return func(r *Request) ([][]string, error) {
+		vals, err := next(r)
+		backoff := p.Backoff
+		for attempt := 0; attempt < p.Max && err != nil && errors.Is(err, index.ErrTransient); attempt++ {
+			if backoff > 0 {
+				r.Task.Charge(backoff)
+			}
+			r.Task.Inc(retries, 1)
+			vals, err = next(r)
+			backoff *= factor
+		}
+		return vals, err
+	}
+}
+
+// accounting charges every access the way the cost model expects: the
+// serve time T_j, the network transfer of key and result when no replica
+// of the key's partition lives on the task node, and the per-index
+// lookup/serve/error counters. Batched multi-key requests are charged one
+// serve round and one network round trip per partition group — the
+// deliberate batching cost deviation (DESIGN.md).
+func (c *Client) accounting(next Handler) Handler {
+	op, ix := c.opts.Op, c.acc.Name()
+	return func(r *Request) ([][]string, error) {
+		t := r.Task
+		serve := c.acc.ServeTime()
+		if d := c.opts.Retry.Timeout; d > 0 && serve > d {
+			// The index cannot answer inside the deadline: the client
+			// abandons the access after charging the wait.
+			t.Charge(float64(len(r.Keys)) * d)
+			t.Inc(CtrTimeouts(op, ix), int64(len(r.Keys)))
+			return make([][]string, len(r.Keys)), &lookupError{key: r.Keys[0], err: ErrTimeout}
+		}
+		vals, err := next(r)
+		if vals == nil {
+			vals = make([][]string, len(r.Keys))
+		}
+		if r.Batched && len(r.Keys) > 1 {
+			c.chargeBatched(t, r.Keys, vals, serve)
+		} else {
+			c.chargePerKey(t, r.Keys, vals, serve)
+		}
+		return vals, err
+	}
+}
+
+// chargePerKey is the paper-faithful costing: every key is its own
+// request — serve time per key, and a network round trip per key whose
+// partition has no replica on the task node.
+func (c *Client) chargePerKey(t *mapreduce.TaskContext, keys []string, vals [][]string, serve float64) {
+	op, ix := c.opts.Op, c.acc.Name()
+	for i, k := range keys {
+		t.Charge(serve)
+		t.Inc(CtrServeNS(op, ix), int64(serve*1e9))
+		t.Inc(CtrLookups(op, ix), 1)
+		hosts := c.acc.HostsFor(k)
+		if hosts == nil || !sim.ContainsNode(hosts, t.Node) {
+			t.ChargeNet(float64(len(k) + 4 + valueBytes(vals[i])))
+			t.Inc(CtrNetRoundTrips(op, ix), 1)
+		}
+	}
+}
+
+// chargeBatched groups the request's keys by index partition (single
+// group for unpartitioned indices) and charges one multi-get per group:
+// the serve time amortizes over the group, and remote groups cost one
+// network round trip carrying every key and result of the group.
+func (c *Client) chargeBatched(t *mapreduce.TaskContext, keys []string, vals [][]string, serve float64) {
+	op, ix := c.opts.Op, c.acc.Name()
+	order, groups := c.groupByPartition(keys)
+	for _, g := range order {
+		members := groups[g]
+		t.Charge(serve)
+		t.Inc(CtrServeNS(op, ix), int64(serve*1e9))
+		t.Inc(CtrLookups(op, ix), int64(len(members)))
+		hosts := c.acc.HostsFor(keys[members[0]])
+		if hosts == nil || !sim.ContainsNode(hosts, t.Node) {
+			bytes := 0
+			for _, i := range members {
+				bytes += len(keys[i]) + 4 + valueBytes(vals[i])
+			}
+			t.ChargeNet(float64(bytes))
+			t.Inc(CtrNetRoundTrips(op, ix), 1)
+		}
+	}
+}
+
+// groupByPartition splits key indices into per-partition groups in
+// first-seen order (deterministic). Unpartitioned indices form one group.
+func (c *Client) groupByPartition(keys []string) ([]int, map[int][]int) {
+	groups := make(map[int][]int)
+	var order []int
+	for i, k := range keys {
+		p := 0
+		if c.scheme != nil {
+			p = c.scheme.Fn(k)
+		}
+		if _, seen := groups[p]; !seen {
+			order = append(order, p)
+		}
+		groups[p] = append(groups[p], i)
+	}
+	return order, groups
+}
+
+// terminal invokes the wrapped accessor: the multi-get fast path for
+// batched multi-key requests, a per-key loop otherwise.
+func (c *Client) terminal(r *Request) ([][]string, error) {
+	if r.Batched && len(r.Keys) > 1 && c.batcher != nil {
+		vals, err := c.batcher.BatchLookup(r.Keys)
+		if err != nil {
+			return vals, &lookupError{key: r.Keys[0], err: err}
+		}
+		return vals, nil
+	}
+	out := make([][]string, len(r.Keys))
+	for i, k := range r.Keys {
+		v, err := c.acc.Lookup(k)
+		if err != nil {
+			return out, &lookupError{key: k, err: err}
+		}
+		out[i] = v
+	}
+	return out, nil
+}

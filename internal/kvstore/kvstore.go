@@ -33,7 +33,10 @@ type Store struct {
 	misses    atomic.Int64
 }
 
-var _ index.Partitioned = (*Store)(nil)
+var (
+	_ index.Partitioned   = (*Store)(nil)
+	_ index.BatchAccessor = (*Store)(nil)
+)
 
 // NewHash creates a hash-partitioned store (the paper's setup: 32
 // partitions via HashPartitioner, each replicated to 3 nodes).
@@ -123,6 +126,26 @@ func (s *Store) Lookup(key string) ([]string, error) {
 		return nil, nil
 	}
 	return v.([]string), nil
+}
+
+// BatchLookup implements index.BatchAccessor: one request resolves many
+// keys, grouped by partition under a single read lock — the multi-get a
+// real store (Cassandra, HBase) answers with one round trip per involved
+// partition. Results align positionally with keys; missing keys yield nil
+// entries and count as misses, exactly as per-key Lookup calls would.
+func (s *Store) BatchLookup(keys []string) ([][]string, error) {
+	s.lookups.Add(int64(len(keys)))
+	out := make([][]string, len(keys))
+	s.mu.RLock()
+	for i, k := range keys {
+		if v, ok := s.parts[s.scheme.Fn(k)].Get(k); ok {
+			out[i] = v.([]string)
+		} else {
+			s.misses.Add(1)
+		}
+	}
+	s.mu.RUnlock()
+	return out, nil
 }
 
 // ServeTime implements index.Accessor (the T_j term).

@@ -187,3 +187,39 @@ func TestLookupReturnsAllPuts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBatchLookupMatchesPerKey(t *testing.T) {
+	s := NewHash(cluster(), "t", 8, 3, 0)
+	for i := 0; i < 20; i++ {
+		s.Put(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))
+	}
+	keys := []string{"k03", "missing", "k03", "k17", "also-missing", "k00"}
+
+	want := make([][]string, len(keys))
+	for i, k := range keys {
+		v, err := s.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	perKeyLookups, perKeyMisses := s.Lookups(), s.Misses()
+
+	s.ResetStats()
+	got, err := s.BatchLookup(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("BatchLookup returned %d results for %d keys", len(got), len(keys))
+	}
+	for i := range keys {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("key %q: batch %v != per-key %v", keys[i], got[i], want[i])
+		}
+	}
+	if s.Lookups() != perKeyLookups || s.Misses() != perKeyMisses {
+		t.Fatalf("batch counted lookups=%d misses=%d, per-key counted %d/%d",
+			s.Lookups(), s.Misses(), perKeyLookups, perKeyMisses)
+	}
+}

@@ -132,7 +132,11 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 				total := 0.0
 				for attempt := 1; attempt <= maxAttempts; attempt++ {
 					rollback := e.guardAttempt(job, node)
-					out, stats := e.runMapTask(job, i, s, chunk, node)
+					out, stats, err := e.mapAttempt(job, i, s, chunk, node)
+					if err != nil {
+						taskErrs[i] = err
+						return total
+					}
 					total += stats.Duration
 					if e.failAttempt(MapTask, i, attempt) {
 						if rollback != nil {
@@ -160,6 +164,39 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 		mergeCounters(res.Counters, st.Counters)
 	}
 	return res, nil
+}
+
+// mapAttempt runs one map task attempt, converting a TaskContext.Abort
+// into an error. Aborts are permanent logical failures (an index error
+// under ErrorFailJob, not a crashed machine), so the caller fails the job
+// instead of re-executing the attempt.
+func (e *Engine) mapAttempt(job *Job, task, split int, chunk *dfs.Chunk, node sim.NodeID) (out *MapOutput, st TaskStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(taskAbort)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("mapreduce: job %q map task %d (split %d) aborted: %w", job.Name, task, split, ab.err)
+		}
+	}()
+	out, st = e.runMapTask(job, task, split, chunk, node)
+	return out, st, nil
+}
+
+// reduceAttempt is mapAttempt's reduce-side twin.
+func (e *Engine) reduceAttempt(job *Job, r int, node sim.NodeID, outputs []*MapOutput) (shard []dfs.Record, st TaskStats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ab, ok := rec.(taskAbort)
+			if !ok {
+				panic(rec)
+			}
+			err = fmt.Errorf("mapreduce: job %q reduce task %d aborted: %w", job.Name, r, ab.err)
+		}
+	}()
+	shard, st = e.runReduceTask(job, r, node, outputs)
+	return shard, st, nil
 }
 
 // guardAttempt snapshots node-shared stage state ahead of a task attempt
@@ -396,7 +433,11 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 				total := 0.0
 				for attempt := 1; attempt <= maxAttempts; attempt++ {
 					rollback := e.guardAttempt(job, node)
-					shard, st := e.runReduceTask(job, r, node, outputs)
+					shard, st, err := e.reduceAttempt(job, r, node, outputs)
+					if err != nil {
+						taskErrs[i] = err
+						return total
+					}
 					total += st.Duration
 					if e.failAttempt(ReduceTask, r, attempt) {
 						if rollback != nil {

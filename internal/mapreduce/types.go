@@ -158,6 +158,17 @@ func (c *TaskContext) Charge(seconds float64) { c.extra += seconds }
 // ChargeNet adds the virtual time of a network transfer of the given size.
 func (c *TaskContext) ChargeNet(bytes float64) { c.extra += c.cluster.NetTime(bytes) }
 
+// taskAbort carries an Abort error through the stage pipeline to the
+// engine's task runner, which converts it into a job failure.
+type taskAbort struct{ err error }
+
+// Abort terminates the running task immediately with err. Unlike an
+// injected fault, an abort is a permanent logical failure (e.g. an index
+// error under ErrorFailJob): the engine does not re-execute the task, it
+// fails the whole job with the error. Must only be called from within a
+// running task (a stage, map, or reduce function).
+func (c *TaskContext) Abort(err error) { panic(taskAbort{err}) }
+
 // Extra returns the accumulated Charge/ChargeNet time.
 func (c *TaskContext) Extra() float64 { return c.extra }
 
