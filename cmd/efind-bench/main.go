@@ -5,28 +5,47 @@
 //
 // Usage:
 //
-//	efind-bench              # run everything at full scale
-//	efind-bench -quick       # run everything at quick (test) scale
-//	efind-bench -fig 11a     # run one experiment
-//	efind-bench -batch       # compare batched multi-get vs per-key lookups
-//	efind-bench -list        # list experiment IDs
+//	efind-bench                    # run everything at full scale
+//	efind-bench -quick             # run everything at quick (test) scale
+//	efind-bench -fig 11a           # run one experiment
+//	efind-bench -fig 11f,12        # run several
+//	efind-bench -batch             # batched multi-get vs per-key lookups
+//	efind-bench -list              # list experiment IDs
+//
+// Observability (all virtual time, bit-identical across serial and
+// parallel executions of the same seed):
+//
+//	efind-bench -quick -fig 11f -trace trace.json   # Chrome trace (Perfetto)
+//	efind-bench -quick -fig 11f,12 -profile BENCH_ci.json -label ci
+//	efind-bench -quick -fig 11f,12 -profile BENCH_ci.json -gate BENCH_baseline.json
+//
+// With -gate, the run's profile is compared against the baseline profile
+// and the command exits 1 if any stage's virtual time (or any latency
+// gauge) regressed by more than -gate-tol.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"efind/internal/experiments"
+	"efind/internal/obs"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "use the quick (test) scale instead of full scale")
-		batch = flag.Bool("batch", false, "run the batched multi-get vs per-key lookup comparison (Fig. 11(f) sweep)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		fig        = flag.String("fig", "", "comma-separated experiment IDs to run (default: all)")
+		quick      = flag.Bool("quick", false, "use the quick (test) scale instead of full scale")
+		batch      = flag.Bool("batch", false, "run the batched multi-get vs per-key lookup comparison (Fig. 11(f) sweep)")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in Perfetto)")
+		profileOut = flag.String("profile", "", "write the machine-readable job profile (BENCH JSON) to this file")
+		label      = flag.String("label", "bench", "label recorded in the -profile output")
+		gate       = flag.String("gate", "", "baseline BENCH JSON to gate against; exit 1 on regression beyond -gate-tol")
+		gateTol    = flag.Float64("gate-tol", 0.10, "per-stage virtual-time regression budget for -gate (0.10 = +10%)")
 	)
 	flag.Parse()
 
@@ -49,16 +68,29 @@ func main() {
 		run = []experiments.Experiment{*experiments.Find("batchcmp")}
 	}
 	if *fig != "" {
-		e := experiments.Find(*fig)
-		if e == nil {
-			fmt.Fprintf(os.Stderr, "efind-bench: unknown experiment %q (try -list)\n", *fig)
-			os.Exit(1)
+		run = nil
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			e := experiments.Find(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "efind-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			run = append(run, *e)
 		}
-		run = []experiments.Experiment{*e}
+	}
+
+	var tr *obs.Trace
+	if *traceOut != "" || *profileOut != "" || *gate != "" {
+		tr = obs.NewTrace()
+		experiments.SetTrace(tr)
 	}
 
 	fmt.Printf("EFind evaluation harness — %d experiment(s) at %s scale\n\n", len(run), scaleName)
 	for _, e := range run {
+		if tr != nil {
+			tr.SetSection(e.ID)
+		}
 		start := time.Now()
 		tbl, err := e.Run(scale)
 		if err != nil {
@@ -68,4 +100,52 @@ func main() {
 		tbl.Print(os.Stdout)
 		fmt.Printf("  (wall time %.1fs)\n\n", time.Since(start).Seconds())
 	}
+
+	if tr == nil {
+		return
+	}
+	if *traceOut != "" {
+		if err := writeTrace(tr, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	prof := tr.Profile(*label)
+	if *profileOut != "" {
+		if err := prof.WriteFile(*profileOut); err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote job profile to %s\n", *profileOut)
+	}
+	if *gate != "" {
+		base, err := obs.ReadProfile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := obs.CompareProfiles(base, prof, *gateTol)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "efind-bench: %d regression(s) vs %s:\n", len(regressions), *gate)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark gate passed: no stage regressed beyond %+.0f%% vs %s\n", *gateTol*100, *gate)
+	}
+}
+
+// writeTrace writes the Chrome trace-event file.
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

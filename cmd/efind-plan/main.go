@@ -8,6 +8,12 @@
 //
 //	efind-plan -n1 100000 -nik 1 -sik 20 -siv 1024 -tj 0.8ms -theta 8 -r 0.9
 //	efind-plan -theta 1 -r 1 -siv 30720        # distinct keys, big results
+//	efind-plan -profile BENCH_ci.json          # render a bench profile
+//
+// With -profile, the tool instead renders a machine-readable job profile
+// written by `efind-bench -profile` as a human-readable report: per-stage
+// virtual times, per-index modeled-vs-observed costs, and the sorted
+// counter/gauge snapshot.
 package main
 
 import (
@@ -18,11 +24,13 @@ import (
 
 	"efind/internal/core"
 	"efind/internal/index"
+	"efind/internal/obs"
 	"efind/internal/sim"
 )
 
 func main() {
 	var (
+		profile = flag.String("profile", "", "render this BENCH profile JSON instead of running the what-if model")
 		n1      = flag.Float64("n1", 50000, "records per parallel lookup lane (Table 1's N1)")
 		nik     = flag.Float64("nik", 1, "average lookup keys per record (Nik)")
 		sik     = flag.Float64("sik", 20, "average key size in bytes (Sik)")
@@ -39,6 +47,18 @@ func main() {
 		startup = flag.Float64("startup", 0.005, "task startup, s (drives the extra-job overhead)")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		p, err := obs.ReadProfile(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-plan: %v\n", err)
+			os.Exit(1)
+		}
+		for _, line := range core.RenderProfile(p) {
+			fmt.Println(line)
+		}
+		return
+	}
 
 	env := core.Env{
 		BW:          *bw,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"efind/internal/dfs"
 	"efind/internal/mapreduce"
@@ -29,6 +30,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 		}
 	}
 	if warm {
+		rt.traceInstant("adaptive: warm start from catalog statistics")
 		plan, err := rt.planWithMode(conf, ModeOptimized)
 		if err != nil {
 			return nil, err
@@ -145,12 +147,15 @@ func (rt *Runtime) reoptimize(conf *IndexJobConf, cur *JobPlan, ops []*Operator,
 	opSet := map[string]bool{}
 	for _, o := range ops {
 		st := collectStats(rt.Catalog, o, tasks, rt.Env)
+		rt.traceStats(o.Name(), st)
 		if st == nil || st.MaxRelStdDev > conf.VarianceThreshold {
+			rt.traceInstant(fmt.Sprintf("reoptimize: operator %q skipped (unstable or missing statistics)", o.Name()))
 			continue
 		}
 		opSet[o.Name()] = true
 	}
 	if len(opSet) == 0 || !canChange {
+		rt.traceInstant("reoptimize: no change (no stable operators or no remaining work)")
 		return nil, false
 	}
 	newPlan := &JobPlan{}
@@ -177,13 +182,50 @@ func (rt *Runtime) reoptimize(conf *IndexJobConf, cur *JobPlan, ops []*Operator,
 
 	// Algorithm 1, line 10: the improvement must exceed the change cost.
 	if curCost-newCost <= conf.PlanChangeCost {
+		rt.traceInstant(fmt.Sprintf("reoptimize: keep plan (improvement %.4f <= change cost %.4f)", curCost-newCost, conf.PlanChangeCost))
 		return nil, false
 	}
 	// The new plan must actually differ.
 	if newPlan.String() == cur.String() {
+		rt.traceInstant("reoptimize: keep plan (re-optimized plan is identical)")
 		return nil, false
 	}
+	rt.traceInstant(fmt.Sprintf("reoptimize: plan change accepted (modeled cost %.4f -> %.4f)", curCost, newCost))
 	return newPlan, true
+}
+
+// traceInstant marks an adaptive-optimizer event on the engine's trace
+// timeline, if a trace is attached.
+func (rt *Runtime) traceInstant(name string) {
+	if t := rt.Engine.Trace; t != nil {
+		t.AddInstant(name, "adaptive")
+	}
+}
+
+// traceStats publishes the optimizer's view of an operator's collected
+// statistics — the FM-sketch Θ estimate, the miss ratio R, the serve
+// time Tj, and the variance-gate reading — as registry gauges, so
+// profiles record what the re-optimization decision was based on.
+func (rt *Runtime) traceStats(op string, st *OperatorStats) {
+	t := rt.Engine.Trace
+	if t == nil || st == nil {
+		return
+	}
+	set := func(name string, v float64) {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return // unrepresentable in JSON; absence means "no reading"
+		}
+		t.Metrics.SetGauge(name, v)
+	}
+	p := "efind." + op + ".stats."
+	set(p+"n1", st.N1)
+	set(p+"relstddev", st.MaxRelStdDev)
+	for ix, is := range st.Index {
+		set(p+ix+".nik", is.Nik)
+		set(p+ix+".tj", is.Tj)
+		set(p+ix+".r", is.R)
+		set(p+ix+".theta", is.Theta)
+	}
 }
 
 // changePlanAtMap implements Figure 10(a): completed first-wave map tasks
@@ -198,6 +240,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 	total.Plan = newPlan
 	total.Replanned = true
 	total.ReplanPhase = "map"
+	rt.traceInstant(fmt.Sprintf("adaptive: plan changed mid-map to %s", newPlan))
 
 	input := conf.Input
 	for k := range co.jobs {
@@ -308,6 +351,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 	total.Plan = newPlan
 	total.Replanned = true
 	total.ReplanPhase = "reduce"
+	rt.traceInstant(fmt.Sprintf("adaptive: plan changed mid-reduce to %s", newPlan))
 	co, err := compilePlan(rt, conf, newPlan)
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"efind/internal/index"
 	"efind/internal/ixclient"
 	"efind/internal/mapreduce"
+	"efind/internal/obs"
 	"efind/internal/sim"
 )
 
@@ -254,6 +255,11 @@ type JobResult struct {
 	raw []*mapreduce.Result
 }
 
+// SortedCounters returns the result's counters as a sorted snapshot —
+// the one way they should reach report output (map iteration order is
+// randomized and would make run-to-run diffs flaky).
+func (r *JobResult) SortedCounters() []obs.Metric { return obs.SortedCounters(r.Counters) }
+
 // Runtime executes EFind jobs: it owns the plan optimizer, the statistics
 // catalog, and the plan implementer (Figure 8).
 type Runtime struct {
@@ -287,6 +293,12 @@ func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
 		return nil, err
 	}
 	fillIndexErrors(conf, res)
+	if t := rt.Engine.Trace; t != nil {
+		for _, ip := range IndexProfiles(res) {
+			ip.Key = t.Qualify(ip.Key)
+			t.AddIndexProfile(ip)
+		}
+	}
 	return res, nil
 }
 

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"efind/internal/ixclient"
+	"efind/internal/obs"
+)
 
 // ExplainCosts renders a human-readable breakdown of the four strategies'
 // modeled costs for one index at one operator, used by cmd/efind-plan.
@@ -31,5 +36,71 @@ func ExplainCosts(st *OperatorStats, is IndexStats, env Env, pos OpPosition) []s
 
 	idxloc := costIdxLoc(st, is, env, spreEff)
 	out = append(out, fmt.Sprintf("idxloc     (local lookups + input move)  = %.4f s", idxloc))
+	return out
+}
+
+// IndexProfiles derives the per-index modeled-vs-observed rows of a
+// finished job: each plan decision's modeled per-machine cost next to
+// the serve time the run actually charged, plus the index client
+// pipeline's observed counters. Rows follow the plan's data-flow order;
+// the trace sorts them by key on export.
+func IndexProfiles(res *JobResult) []obs.IndexProfile {
+	if res == nil || res.Plan == nil {
+		return nil
+	}
+	var out []obs.IndexProfile
+	for _, p := range res.Plan.All() {
+		for _, d := range p.Decisions {
+			op, ix := p.Op.Name(), p.Op.Indices()[d.Index].Name()
+			out = append(out, obs.IndexProfile{
+				Key:           op + "/" + ix,
+				Strategy:      d.Strategy.String(),
+				ModeledCost:   d.Cost,
+				ObservedServe: float64(res.Counters[ixclient.CtrServeNS(op, ix)]) / 1e9,
+				Lookups:       res.Counters[ixclient.CtrLookups(op, ix)],
+				CacheProbes:   res.Counters[ixclient.CtrProbes(op, ix)],
+				CacheMisses:   res.Counters[ixclient.CtrMisses(op, ix)],
+				Errors:        res.Counters[ixclient.CtrErrors(op, ix)],
+				Retries:       res.Counters[ixclient.CtrRetries(op, ix)],
+				Timeouts:      res.Counters[ixclient.CtrTimeouts(op, ix)],
+				NetRoundTrips: res.Counters[ixclient.CtrNetRoundTrips(op, ix)],
+			})
+		}
+	}
+	return out
+}
+
+// RenderProfile renders a job profile as human-readable report lines.
+// Every section iterates in the profile's sorted order, so the report is
+// byte-stable across runs.
+func RenderProfile(p *obs.Profile) []string {
+	out := []string{fmt.Sprintf("profile %q: total virtual time %.4f s", p.Label, p.TotalVTime)}
+	if len(p.Stages) > 0 {
+		out = append(out, "stages:")
+		for _, s := range p.Stages {
+			out = append(out, fmt.Sprintf("  %-44s %-7s vtime=%.4fs tasks=%d local=%d waves=%d",
+				s.Name, s.Kind, s.VTime, s.Tasks, s.LocalTasks, s.Waves))
+		}
+	}
+	if len(p.Indexes) > 0 {
+		out = append(out, "indexes (modeled vs observed):")
+		for _, ix := range p.Indexes {
+			out = append(out, fmt.Sprintf("  %-34s %-9s modeled=%.4fs served=%.4fs lookups=%d misses=%d/%d errors=%d retries=%d timeouts=%d rtts=%d",
+				ix.Key, ix.Strategy, ix.ModeledCost, ix.ObservedServe, ix.Lookups,
+				ix.CacheMisses, ix.CacheProbes, ix.Errors, ix.Retries, ix.Timeouts, ix.NetRoundTrips))
+		}
+	}
+	if len(p.Counters) > 0 {
+		out = append(out, "counters:")
+		for _, c := range p.Counters {
+			out = append(out, fmt.Sprintf("  %-56s %d", c.Name, c.Value))
+		}
+	}
+	if len(p.Gauges) > 0 {
+		out = append(out, "gauges:")
+		for _, g := range p.Gauges {
+			out = append(out, fmt.Sprintf("  %-56s %.6g", g.Name, g.Value))
+		}
+	}
 	return out
 }

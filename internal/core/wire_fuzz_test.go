@@ -51,13 +51,13 @@ func FuzzCarrierRoundTrip(f *testing.F) {
 // of driving a huge decode loop.
 func TestDecodeCarrierRejectsHugeInnerCounts(t *testing.T) {
 	cases := []string{
-		"0:0:1;1048577;",                  // keys-in-list count too large
-		"0:0:0;1;1048577;",                // results-in-list count too large
-		"0:0:0;1;1;1:k1048577;",           // values-per-result count too large
-		"0:0:1048577;",                    // outer key-list count (regression)
-		"0:0:0;1048577;",                  // outer result-list count (regression)
-		"0:0:1;-2;",                       // negative inner count
-		"0:0:1;1;3:abc0;1;1;1:x0;1:y0;x",  // trailing bytes
+		"0:0:1;1048577;",                 // keys-in-list count too large
+		"0:0:0;1;1048577;",               // results-in-list count too large
+		"0:0:0;1;1;1:k1048577;",          // values-per-result count too large
+		"0:0:1048577;",                   // outer key-list count (regression)
+		"0:0:0;1048577;",                 // outer result-list count (regression)
+		"0:0:1;-2;",                      // negative inner count
+		"0:0:1;1;3:abc0;1;1;1:x0;1:y0;x", // trailing bytes
 	}
 	for _, s := range cases {
 		if _, err := decodeCarrier(s); err == nil {

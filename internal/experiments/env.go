@@ -6,8 +6,36 @@ import (
 	"efind/internal/core"
 	"efind/internal/dfs"
 	"efind/internal/mapreduce"
+	"efind/internal/obs"
 	"efind/internal/sim"
 )
+
+// obsTrace, when set, is attached to the engine of every lab created
+// afterwards, so one benchmark invocation accumulates a single
+// virtual-time trace and profile across its experiments (each strategy
+// run still gets a fresh lab — only the observability record is shared).
+var obsTrace *obs.Trace
+
+// SetTrace attaches (or, with nil, detaches) the trace future labs
+// record into. Call it once before running experiments.
+func SetTrace(t *obs.Trace) { obsTrace = t }
+
+// section labels subsequent trace stages, instants, and index-profile
+// rows with a run context (e.g. "11f/l=10/base"); no-op without a trace.
+func section(s string) {
+	if obsTrace != nil {
+		obsTrace.SetSection(s)
+	}
+}
+
+// gauge records one figure measurement into the trace's registry; names
+// ending in ".vms" (virtual milliseconds) are latency budgets the CI
+// regression gate guards. No-op without a trace.
+func gauge(name string, v float64) {
+	if obsTrace != nil {
+		obsTrace.Metrics.SetGauge(name, v)
+	}
+}
 
 // lab is one fresh simulated environment. Every strategy run gets its own
 // lab so caches, catalogs, and index statistics cannot leak between runs.
@@ -30,6 +58,7 @@ func newLab() *lab {
 	fs := dfs.New(cluster)
 	fs.ChunkTarget = 32 << 10
 	engine := mapreduce.New(cluster, fs)
+	engine.Trace = obsTrace
 	return &lab{cluster: cluster, fs: fs, engine: engine, rt: core.NewRuntime(engine)}
 }
 

@@ -58,6 +58,7 @@ func buildSynConf(name string, input *dfs.File, store *kvstore.Store, mode core.
 // runSynOnce executes the synthetic join for one index value size l under
 // one strategy in a fresh lab.
 func runSynOnce(scale Scale, l int, column string) (float64, *core.JobResult, error) {
+	section(fmt.Sprintf("11f/l=%d/%s", l, column))
 	env := newLab()
 	cfg := synScaleConfig(scale, l)
 	env.fs.ChunkTarget = chunkTargetFor(scale.SynRecords * (cfg.ValueSize + 30))

@@ -47,7 +47,10 @@ func Fig12(scale Scale) (*Table, error) {
 			client.Access(ctx, key)
 			return ctx.Extra()
 		}
-		t.Add(fmt.Sprintf("%dB", size), probe(localNode)*1000, probe(remoteNode)*1000)
+		local, remote := probe(localNode)*1000, probe(remoteNode)*1000
+		gauge(fmt.Sprintf("fig12.local.%dB.vms", size), local)
+		gauge(fmt.Sprintf("fig12.remote.%dB.vms", size), remote)
+		t.Add(fmt.Sprintf("%dB", size), local, remote)
 	}
 	return t, nil
 }

@@ -17,6 +17,10 @@
 //   - terminal: the accessor itself, with a multi-get fast path for
 //     BatchAccessor indices when batching is enabled.
 //
+// An outermost spans stage additionally records an index-lookup trace
+// span per access when the task is traced (internal/obs); it is free
+// when tracing is off.
+//
 // The stack is assembled once per (operator decision, index) pair. With
 // batching off, the chain charges and counts bit-identically to the
 // pre-refactor executor; batching is the one deliberate cost deviation
@@ -190,10 +194,11 @@ func New(acc index.Accessor, opts Options) *Client {
 	if p, ok := acc.(index.Partitioned); ok {
 		c.scheme = p.Scheme()
 	}
-	c.direct = Chain(c.terminal, c.accounting, c.retry, c.policy)
+	inner := Chain(c.terminal, c.accounting, c.retry, c.policy)
+	c.direct = Chain(inner, c.spans)
 	c.inline = c.direct
 	if opts.CacheMode != CacheOff {
-		c.inline = Chain(c.direct, c.cache)
+		c.inline = Chain(inner, c.cache, c.spans)
 	}
 	return c
 }

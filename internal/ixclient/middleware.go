@@ -8,7 +8,22 @@ import (
 	"efind/internal/sim"
 )
 
-// cache is the outermost stage of the inline chain. CacheReal serves hits
+// spans wraps the whole access in an index-lookup span so traces show
+// where a task waits on index serving (cache probes, backoff waits, and
+// serve time all land inside it). The span name is built once per
+// client; with tracing off, StartSpan returns the zero region and the
+// stage costs one branch and no allocation.
+func (c *Client) spans(next Handler) Handler {
+	name := "lookup " + c.opts.Op + "/" + c.acc.Name()
+	return func(r *Request) ([][]string, error) {
+		sp := r.Task.StartSpan(name, "index")
+		vals, err := next(r)
+		sp.End()
+		return vals, err
+	}
+}
+
+// cache is the outermost charging stage of the inline chain. CacheReal serves hits
 // locally and forwards only misses; CacheShadow records probe/miss
 // statistics on a key-only cache and forwards everything. Results that
 // come back without error are cached — including the empty results the

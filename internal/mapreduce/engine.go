@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"efind/internal/dfs"
+	"efind/internal/obs"
 	"efind/internal/sim"
 )
 
@@ -25,6 +26,12 @@ type Engine struct {
 	// mapred.map.max.attempts. The injector must be safe for concurrent
 	// calls: the parallel executor consults it from several goroutines.
 	FaultInjector func(kind TaskKind, task, attempt int) bool
+	// Trace, when set, records virtual-time spans for every task (and its
+	// read/pipeline/cpu/write sub-phases), per-phase stage profiles, and
+	// folds all task counters into the trace's metrics registry. Nil (the
+	// default) keeps the hot path untouched: task contexts skip span
+	// recording entirely and allocate nothing for it.
+	Trace *obs.Trace
 }
 
 // CounterTaskRetries counts failed task attempts that were re-executed.
@@ -163,6 +170,7 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 	for _, st := range res.Stats {
 		mergeCounters(res.Counters, st.Counters)
 	}
+	e.emitPhase(job.Name+"/map", "map", res.Phase, res.Stats)
 	return res, nil
 }
 
@@ -224,13 +232,18 @@ func firstError(errs []error) error {
 // runMapTask executes one map task on the given node.
 func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node sim.NodeID) (*MapOutput, TaskStats) {
 	ctx := NewTaskContext(e.Cluster, node, taskID, MapTask)
+	if e.Trace != nil {
+		ctx.EnableSpans()
+	}
 
 	// Input read: local disk when a replica lives here, network otherwise.
+	sp := ctx.StartSpan("read", "io")
 	if sim.ContainsNode(chunk.Replicas, node) {
 		ctx.Charge(e.Cluster.DiskTime(float64(chunk.Bytes)))
 	} else {
 		ctx.ChargeNet(float64(chunk.Bytes))
 	}
+	sp.End()
 
 	numBuckets := 1
 	if job.Reduce != nil {
@@ -252,15 +265,19 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 	if job.Map == nil {
 		mapStage = &FuncStage{OnProcess: identityMap}
 	}
+	sp = ctx.StartSpan("map-pipeline", "pipeline")
 	pipe := newPipeline(ctx, node, job.MapStagesBefore, mapStage, job.MapStagesAfter, sink)
 	pipe.open()
 	for _, r := range chunk.Records {
 		pipe.process(Pair{Key: r.Key, Value: r.Value})
 	}
 	pipe.close()
+	sp.End()
 
 	if job.Combine != nil && job.Reduce != nil {
+		sp = ctx.StartSpan("combine", "pipeline")
 		e.combineBuckets(ctx, job, out)
+		sp.End()
 		outRecords = 0
 		for _, b := range out.Buckets {
 			outRecords += len(b)
@@ -271,10 +288,14 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 	ctx.Inc(CounterInputBytes, int64(chunk.Bytes))
 	ctx.Inc(CounterOutputRecords, int64(outRecords))
 	ctx.Inc(CounterOutputBytes, int64(out.Bytes))
+	sp = ctx.StartSpan("cpu", "cpu")
 	ctx.Charge(e.Cluster.CPUTime(len(chunk.Records)+outRecords, float64(chunk.Bytes+out.Bytes)))
+	sp.End()
 	if job.Reduce == nil {
 		// Map-only jobs materialize their output to the DFS directly.
+		sp = ctx.StartSpan("dfs-write", "io")
 		ctx.Charge(e.Cluster.DFSTime(float64(out.Bytes)))
+		sp.End()
 	}
 	return out, e.taskStats(ctx)
 }
@@ -462,16 +483,71 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 		return nil, err
 	}
 	sub.VTime = sub.Phase.Makespan
+	e.emitPhase(job.Name+"/reduce", "reduce", sub.Phase, sub.Stats)
 	return sub, nil
+}
+
+// emitPhase exports one completed phase to the attached trace: a task
+// span per assignment (on the node/slot lane the scheduler placed it),
+// the task's rebased sub-phase spans, a queued→scheduled wait for tasks
+// that did not start at phase begin, the per-task counters (folded into
+// the unified registry), and a stage profile carrying the makespan the
+// CI regression gate budgets. Assignments arrive sorted by (start,
+// task), so emission order — and the exported file — is deterministic
+// and identical for serial and parallel executions.
+func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []TaskStats) {
+	t := e.Trace
+	if t == nil {
+		return
+	}
+	base := t.Clock()
+	cfg := e.Cluster.Config()
+	for _, a := range phase.Assignments {
+		st := stats[a.Task]
+		speed := cfg.SpeedOf(a.Node)
+		taskName := fmt.Sprintf("%s[%d]", name, st.ID)
+		if n := st.Counters[CounterTaskRetries]; n > 0 {
+			taskName = fmt.Sprintf("%s (retries=%d)", taskName, n)
+		}
+		if a.Start > 0 {
+			t.AddQueued(taskName, int(a.Node), base, base+a.Start)
+		}
+		t.AddSpan(obs.Span{
+			Name: taskName, Cat: kind,
+			Node: int(a.Node), Slot: a.Slot,
+			Start: base + a.Start, Dur: a.Duration,
+		})
+		// The final successful attempt occupies the tail of the
+		// assignment; its relative sub-phase clock rebases from there,
+		// scaled by the node's speed like every other duration.
+		bodyStart := a.Start + a.Duration - st.BodyTime/speed
+		for _, s := range st.Spans {
+			t.AddSpan(obs.Span{
+				Name: s.Name, Cat: s.Cat,
+				Node: int(a.Node), Slot: a.Slot,
+				Start: base + bodyStart + s.Start/speed, Dur: s.Dur / speed,
+			})
+		}
+		t.Metrics.AddAll(st.Counters)
+	}
+	t.AddStage(obs.StageProfile{
+		Name: t.Qualify(name), Kind: kind, VTime: phase.Makespan,
+		Tasks: len(stats), LocalTasks: phase.LocalTasks, Waves: phase.Waves,
+	})
+	t.Advance(phase.Makespan)
 }
 
 // runReduceTask executes one reduce task: shuffle in, sort, group, reduce,
 // chained tail stages, and output collection.
 func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapOutput) ([]dfs.Record, TaskStats) {
 	ctx := NewTaskContext(e.Cluster, node, r, ReduceTask)
+	if e.Trace != nil {
+		ctx.EnableSpans()
+	}
 
 	var input []Pair
 	inBytes := 0
+	sp := ctx.StartSpan("shuffle", "io")
 	for _, mo := range outputs {
 		bucket := mo.Buckets[r]
 		if len(bucket) == 0 {
@@ -489,6 +565,7 @@ func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapO
 		}
 		input = append(input, bucket...)
 	}
+	sp.End()
 	// Merge sort by key, stable so values stay in map-output order.
 	sort.SliceStable(input, func(i, j int) bool { return input[i].Key < input[j].Key })
 
@@ -500,6 +577,7 @@ func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapO
 		outBytes += p.Size()
 		outRecords++
 	}
+	sp = ctx.StartSpan("reduce-pipeline", "pipeline")
 	pipe := newPipeline(ctx, node, nil, nil, job.ReduceStagesAfter, sink)
 	pipe.open()
 	for i := 0; i < len(input); {
@@ -515,13 +593,18 @@ func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapO
 		i = j
 	}
 	pipe.close()
+	sp.End()
 
 	ctx.Inc(CounterInputRecords, int64(len(input)))
 	ctx.Inc(CounterInputBytes, int64(inBytes))
 	ctx.Inc(CounterOutputRecords, int64(outRecords))
 	ctx.Inc(CounterOutputBytes, int64(outBytes))
+	sp = ctx.StartSpan("cpu", "cpu")
 	ctx.Charge(e.Cluster.CPUTime(len(input)+outRecords, float64(inBytes+outBytes)))
+	sp.End()
+	sp = ctx.StartSpan("dfs-write", "io")
 	ctx.Charge(e.Cluster.DFSTime(float64(outBytes)))
+	sp.End()
 	return shard, e.taskStats(ctx)
 }
 
@@ -576,6 +659,8 @@ func (e *Engine) taskStats(ctx *TaskContext) TaskStats {
 		Node:     ctx.Node,
 		Counters: make(map[string]int64, len(ctx.counters)),
 		Duration: ctx.extra,
+		BodyTime: ctx.extra,
+		Spans:    ctx.spans,
 	}
 	for k, v := range ctx.counters {
 		st.Counters[k] = v

@@ -10,6 +10,7 @@ package mapreduce
 import (
 	"hash/fnv"
 
+	"efind/internal/obs"
 	"efind/internal/sim"
 	"efind/internal/sketch"
 )
@@ -115,6 +116,8 @@ type TaskContext struct {
 	counters map[string]int64
 	sketches map[string]*sketch.FM
 	extra    float64
+	traced   bool
+	spans    []obs.Span
 }
 
 // NewTaskContext builds a context; exported for tests of stages outside
@@ -172,6 +175,50 @@ func (c *TaskContext) Abort(err error) { panic(taskAbort{err}) }
 // Extra returns the accumulated Charge/ChargeNet time.
 func (c *TaskContext) Extra() float64 { return c.extra }
 
+// EnableSpans turns on span recording for this task. The engine enables
+// it when a trace is attached; with it off, StartSpan is a no-op that
+// performs no allocation, so tracing has zero cost on the hot path.
+func (c *TaskContext) EnableSpans() { c.traced = true }
+
+// Traced reports whether span recording is on.
+func (c *TaskContext) Traced() bool { return c.traced }
+
+// StartSpan opens a sub-phase span on the task's own virtual clock (the
+// accumulated Charge time). Call End on the returned region when the
+// sub-phase's charges are complete. Span times are relative to the task
+// body; the engine rebases them to absolute phase time once the task's
+// placement is known.
+func (c *TaskContext) StartSpan(name, cat string) SpanRegion {
+	if !c.traced {
+		return SpanRegion{}
+	}
+	return SpanRegion{ctx: c, name: name, cat: cat, start: c.extra}
+}
+
+// SpanRegion is an open sub-phase span. The zero value (tracing off) is
+// valid and End on it does nothing.
+type SpanRegion struct {
+	ctx       *TaskContext
+	name, cat string
+	start     float64
+}
+
+// End closes the region, recording [start, now) of the task's virtual
+// clock. Zero-length spans are dropped: a sub-phase that charged nothing
+// occupies no virtual time and would only clutter the trace.
+func (r SpanRegion) End() {
+	if r.ctx == nil {
+		return
+	}
+	d := r.ctx.extra - r.start
+	if d <= 0 {
+		return
+	}
+	r.ctx.spans = append(r.ctx.spans, obs.Span{
+		Name: r.name, Cat: r.cat, Node: int(r.ctx.Node), Start: r.start, Dur: d,
+	})
+}
+
 // TaskStats is the per-task statistics record the adaptive optimizer
 // consumes: one sample per completed task (§4.2 treats each task's
 // statistics as a random sample for the variance test).
@@ -182,6 +229,13 @@ type TaskStats struct {
 	Counters map[string]int64
 	Sketches map[string][]uint64
 	Duration float64
+	// BodyTime is the virtual time of the final successful attempt's body
+	// (Duration additionally includes failed attempts). The trace
+	// exporter uses it to rebase the attempt's relative sub-phase spans.
+	BodyTime float64
+	// Spans are the task body's sub-phase spans, relative to the body's
+	// own virtual clock; nil when tracing is off.
+	Spans []obs.Span
 }
 
 // HashPartition is the default partitioner (FNV-1a modulo reducers),

@@ -28,6 +28,7 @@ type Task struct {
 type Assignment struct {
 	Task     int // index into the scheduled task slice
 	Node     NodeID
+	Slot     int // execution slot on the node, in [0, slotsPerNode)
 	Start    float64
 	Duration float64
 	Local    bool // whether the task ran on one of its preferred nodes
@@ -47,8 +48,14 @@ type PhaseResult struct {
 }
 
 // slot is one execution slot on a node, ordered by the time it frees up.
+// The within-node index identifies the lane a task ran on for trace
+// export; the ordering is total (free, node, idx), so the pop sequence is
+// a pure function of the heap's contents — the parallel executor pushes
+// completions back in arrival order, and a total order keeps its picks
+// bit-identical to the serial executor's.
 type slot struct {
 	node NodeID
+	idx  int
 	free float64
 }
 
@@ -59,7 +66,10 @@ func (h slotHeap) Less(i, j int) bool {
 	if h[i].free != h[j].free {
 		return h[i].free < h[j].free
 	}
-	return h[i].node < h[j].node
+	if h[i].node != h[j].node {
+		return h[i].node < h[j].node
+	}
+	return h[i].idx < h[j].idx
 }
 func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
@@ -160,7 +170,7 @@ func (c *Cluster) newSlotHeap(slotsPerNode int) slotHeap {
 	h := make(slotHeap, 0, c.cfg.Nodes*slotsPerNode)
 	for n := 0; n < c.cfg.Nodes; n++ {
 		for s := 0; s < slotsPerNode; s++ {
-			h = append(h, slot{node: NodeID(n), free: 0})
+			h = append(h, slot{node: NodeID(n), idx: s, free: 0})
 		}
 	}
 	heap.Init(&h)
@@ -207,8 +217,8 @@ func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int) PhaseResul
 			break
 		}
 		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node)) / c.cfg.SpeedOf(s.node)
-		res.record(Assignment{Task: ti, Node: s.node, Start: s.free, Duration: dur, Local: local})
-		heap.Push(&h, slot{node: s.node, free: s.free + dur})
+		res.record(Assignment{Task: ti, Node: s.node, Slot: s.idx, Start: s.free, Duration: dur, Local: local})
+		heap.Push(&h, slot{node: s.node, idx: s.idx, free: s.free + dur})
 	}
 	res.sortAssignments()
 	return res

@@ -30,6 +30,7 @@ import (
 type parWork struct {
 	seq   int // dispatch sequence, identifies the in-flight entry
 	task  int
+	slot  int
 	start float64
 	local bool
 }
@@ -106,7 +107,7 @@ func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int)
 			if ti < 0 {
 				break
 			}
-			w := parWork{seq: seq, task: ti, start: s.free, local: local}
+			w := parWork{seq: seq, task: ti, slot: s.idx, start: s.free, local: local}
 			inflight[seq] = s.free + c.cfg.TaskStartup/c.cfg.SpeedOf(s.node)
 			seq++
 			queueFor(s.node) <- w
@@ -115,8 +116,8 @@ func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int)
 		d := <-done
 		completed++
 		delete(inflight, d.work.seq)
-		res.record(Assignment{Task: d.work.task, Node: d.node, Start: d.work.start, Duration: d.dur, Local: d.work.local})
-		heap.Push(&h, slot{node: d.node, free: d.work.start + d.dur})
+		res.record(Assignment{Task: d.work.task, Node: d.node, Slot: d.work.slot, Start: d.work.start, Duration: d.dur, Local: d.work.local})
+		heap.Push(&h, slot{node: d.node, idx: d.work.slot, free: d.work.start + d.dur})
 	}
 	res.sortAssignments()
 	return res
