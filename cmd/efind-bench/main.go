@@ -11,6 +11,16 @@
 //	efind-bench -fig 11f,12        # run several
 //	efind-bench -batch             # batched multi-get vs per-key lookups
 //	efind-bench -list              # list experiment IDs
+//	efind-bench -chaos seed=7      # chaos ablation under fault schedule 7
+//
+// The -chaos mode runs the seeded chaos ablation (node crash, stragglers
+// with speculative backups, index outage with degradation to baseline)
+// and exits 1 if any faulty run's output diverges from the fault-free
+// run. Combine with -fig to run other experiments under the same seed.
+// The ablation's runs keep private traces (each row is judged on its own
+// isolated counters), so -trace captures only the regular experiments;
+// chaos trace instants (crash:node, speculate:, reopt:failure) are
+// pinned by the Chaos test suites instead.
 //
 // Observability (all virtual time, bit-identical across serial and
 // parallel executions of the same seed):
@@ -28,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,8 +57,21 @@ func main() {
 		label      = flag.String("label", "bench", "label recorded in the -profile output")
 		gate       = flag.String("gate", "", "baseline BENCH JSON to gate against; exit 1 on regression beyond -gate-tol")
 		gateTol    = flag.Float64("gate-tol", 0.10, "per-stage virtual-time regression budget for -gate (0.10 = +10%)")
+		chaosSeed  = flag.String("chaos", "", "run the chaos ablation under this fault-schedule seed (seed=N or N)")
 	)
 	flag.Parse()
+
+	if *chaosSeed != "" {
+		seed, err := parseChaosSeed(*chaosSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.ChaosSeed = seed
+		if *fig == "" {
+			*fig = "ablation-chaos"
+		}
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -135,6 +159,16 @@ func main() {
 		}
 		fmt.Printf("benchmark gate passed: no stage regressed beyond %+.0f%% vs %s\n", *gateTol*100, *gate)
 	}
+}
+
+// parseChaosSeed accepts "seed=N" (the documented spelling) or bare "N".
+func parseChaosSeed(s string) (int64, error) {
+	s = strings.TrimPrefix(s, "seed=")
+	seed, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid -chaos value %q: want seed=N", s)
+	}
+	return seed, nil
 }
 
 // writeTrace writes the Chrome trace-event file.

@@ -76,7 +76,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 	}
 	total.VTime += mp1.VTime
 	total.JobsRun = 1
-	addTaskCounters(total, mp1.Stats)
+	addCounters(total.Counters, mp1.Counters)
 
 	// Fold first-wave statistics into the catalog for the operators whose
 	// work happens before the reduce phase.
@@ -96,7 +96,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 			return nil, err
 		}
 		total.VTime += mpRest.VTime
-		addTaskCounters(total, mpRest.Stats)
+		addCounters(total.Counters, mpRest.Counters)
 	}
 
 	if conf.Reducer == nil {
@@ -123,7 +123,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 		return nil, err
 	}
 	total.VTime += sub.VTime
-	addTaskCounters(total, sub.Stats)
+	addCounters(total.Counters, sub.Counters)
 	rt.harvestTailStats(conf, sub.Stats)
 	out, err := rt.writeOutput(conf, sub.Shards, sub.Homes)
 	if err != nil {
@@ -169,6 +169,7 @@ func (rt *Runtime) reoptimize(conf *IndexJobConf, cur *JobPlan, ops []*Operator,
 			}
 			st := rt.Catalog.Get(p.Op.Name())
 			np := OptimizeOperator(p.Op, p.Pos, st, rt.Env, conf.Planner)
+			conf.applyDegrades(&np)
 			curCost += PlanCost(p, st, rt.Env)
 			newCost += np.Cost
 			out = append(out, np)
@@ -256,8 +257,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 			}
 			total.VTime += r.VTime
 			total.JobsRun++
-			addTaskCounters(total, r.MapStats)
-			addTaskCounters(total, r.ReduceStats)
+			addCounters(total.Counters, r.Counters)
 			if input != conf.Input {
 				if err := rt.Engine.FS.Remove(input.Name); err != nil {
 					return nil, err
@@ -274,7 +274,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 		}
 		total.VTime += mpRest.VTime
 		total.JobsRun++
-		addTaskCounters(total, mpRest.Stats)
+		addCounters(total.Counters, mpRest.Counters)
 		if input != conf.Input {
 			if err := rt.Engine.FS.Remove(input.Name); err != nil {
 				return nil, err
@@ -295,7 +295,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 			return nil, err
 		}
 		total.VTime += sub.VTime
-		addTaskCounters(total, sub.Stats)
+		addCounters(total.Counters, sub.Counters)
 		rt.harvestTailStats(conf, sub.Stats)
 		out, err := rt.writeOutput(conf, sub.Shards, sub.Homes)
 		if err != nil {
@@ -321,7 +321,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 		return nil, err
 	}
 	total.VTime += sub1.VTime
-	addTaskCounters(total, sub1.Stats)
+	addCounters(total.Counters, sub1.Counters)
 
 	newPlan, improved := rt.reoptimize(conf, curPlan, conf.tail, sub1.Stats, rwave < conf.NumReduce)
 	if !improved {
@@ -335,7 +335,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 				return nil, err
 			}
 			total.VTime += sub2.VTime
-			addTaskCounters(total, sub2.Stats)
+			addCounters(total.Counters, sub2.Counters)
 			shards = append(shards, sub2.Shards...)
 			homes = append(homes, sub2.Homes...)
 		}
@@ -366,7 +366,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 		return nil, err
 	}
 	total.VTime += sub2.VTime
-	addTaskCounters(total, sub2.Stats)
+	addCounters(total.Counters, sub2.Counters)
 
 	// Materialize the new-plan reducers' output and push it through the
 	// tail shuffling/resume jobs.
@@ -382,8 +382,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 		}
 		total.VTime += r.VTime
 		total.JobsRun++
-		addTaskCounters(total, r.MapStats)
-		addTaskCounters(total, r.ReduceStats)
+		addCounters(total.Counters, r.Counters)
 		if err := rt.Engine.FS.Remove(input.Name); err != nil {
 			return nil, err
 		}
@@ -449,15 +448,6 @@ func seq(from, to int) []int {
 	return out
 }
 
-// addTaskCounters folds per-task counters into the job result.
-func addTaskCounters(res *JobResult, tasks []mapreduce.TaskStats) {
-	for _, t := range tasks {
-		for k, v := range t.Counters {
-			res.Counters[k] += v
-		}
-	}
-}
-
 // outputsOf tolerates a nil phase.
 func outputsOf(mp *mapreduce.MapPhaseResult) []*mapreduce.MapOutput {
 	if mp == nil {
@@ -471,9 +461,13 @@ func mergeMapPhases(a, b *mapreduce.MapPhaseResult) *mapreduce.MapPhaseResult {
 	if b == nil {
 		return a
 	}
+	counters := make(map[string]int64)
+	addCounters(counters, a.Counters)
+	addCounters(counters, b.Counters)
 	return &mapreduce.MapPhaseResult{
-		Outputs: append(append([]*mapreduce.MapOutput(nil), a.Outputs...), b.Outputs...),
-		Stats:   append(append([]mapreduce.TaskStats(nil), a.Stats...), b.Stats...),
-		VTime:   a.VTime + b.VTime,
+		Outputs:  append(append([]*mapreduce.MapOutput(nil), a.Outputs...), b.Outputs...),
+		Stats:    append(append([]mapreduce.TaskStats(nil), a.Stats...), b.Stats...),
+		Counters: counters,
+		VTime:    a.VTime + b.VTime,
 	}
 }

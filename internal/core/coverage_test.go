@@ -182,11 +182,11 @@ func TestEFindSurvivesTaskFailures(t *testing.T) {
 	var want []string
 	for _, mode := range []Mode{ModeBaseline, ModeCache, ModeDynamic} {
 		e := newE2E(t, 800, 25)
-		e.rt.Engine.FaultInjector = func(kind mapreduce.TaskKind, task, attempt int) bool {
-			return task%4 == 1 && attempt == 1 // first attempt of every 4th task fails
-		}
 		op := e.lookupOp(fmt.Sprintf("ft-%v", mode))
 		conf := e.conf(fmt.Sprintf("job-ft-%v", mode), mode, op, headPlace)
+		conf.FaultInjector = func(kind mapreduce.TaskKind, task, attempt int) bool {
+			return task%4 == 1 && attempt == 1 // first attempt of every 4th task fails
+		}
 		res, err := e.rt.Submit(conf)
 		if err != nil {
 			t.Fatalf("%v: %v", mode, err)

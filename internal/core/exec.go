@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"efind/internal/chaos"
 	"efind/internal/dfs"
 	"efind/internal/index"
 	"efind/internal/ixclient"
@@ -135,9 +136,25 @@ type IndexJobConf struct {
 	// BatchSize is the per-task record buffer for Batch (0 = 64).
 	BatchSize int
 
+	// Chaos subjects the job to a deterministic failure schedule: node
+	// crash/recovery windows and injected stragglers are enforced by the
+	// MapReduce engine, index partition outages by the index clients'
+	// availability middleware. Nil (the default) runs fault-free.
+	Chaos *chaos.Plan
+	// FaultInjector forwards to mapreduce.Job.FaultInjector on every job
+	// the plan compiles into: returning true fails that task attempt and
+	// re-executes it (classic MapReduce fault tolerance, per-attempt).
+	FaultInjector func(kind mapreduce.TaskKind, task, attempt int) bool
+	// DisableDegrade turns off failure-triggered re-optimization: an index
+	// whose outage survives the retry ladder then fails the job instead of
+	// being demoted to the baseline strategy (only meaningful with Chaos
+	// outages and ErrorFailJob).
+	DisableDegrade bool
+
 	head, body, tail []*Operator
 	forced           map[string]map[string]Strategy
 	forcedBoundary   map[string]map[string]Boundary
+	degraded         map[string]map[string]bool
 }
 
 // AddHeadIndexOperator places an operator before Map.
@@ -274,21 +291,13 @@ func NewRuntime(e *mapreduce.Engine) *Runtime {
 }
 
 // Submit runs the job under its configured mode and returns the result.
+// Index outages that exhaust the retry ladder trigger failure-driven
+// re-optimization (see degrade.go) before the job is allowed to fail.
 func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
 	if err := conf.validate(rt); err != nil {
 		return nil, err
 	}
-	var res *JobResult
-	var err error
-	if conf.Mode == ModeDynamic {
-		res, err = rt.runDynamic(conf)
-	} else {
-		var plan *JobPlan
-		plan, err = rt.planFor(conf)
-		if err == nil {
-			res, err = rt.runPlan(conf, plan)
-		}
-	}
+	res, err := rt.submitDegradable(conf)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +309,18 @@ func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// submitOnce runs the job under its configured mode, one attempt.
+func (rt *Runtime) submitOnce(conf *IndexJobConf) (*JobResult, error) {
+	if conf.Mode == ModeDynamic {
+		return rt.runDynamic(conf)
+	}
+	plan, err := rt.planFor(conf)
+	if err != nil {
+		return nil, err
+	}
+	return rt.runPlan(conf, plan)
 }
 
 // fillIndexErrors reports the per-index error totals on the result, one
@@ -380,6 +401,7 @@ func (rt *Runtime) planFor(conf *IndexJobConf) (*JobPlan, error) {
 		default:
 			return nil, fmt.Errorf("efind: unsupported mode %v", conf.Mode)
 		}
+		conf.applyDegrades(&p)
 		switch pos {
 		case HeadOp:
 			plan.Head = append(plan.Head, p)
@@ -451,6 +473,15 @@ type shuffleSpec struct {
 type compiled struct {
 	jobs  []*cjob
 	execs map[string]*opExec
+}
+
+// resetNode drops every operator client's caches on a crashed node: a
+// rebooted TaskTracker restarts with cold per-machine lookup caches
+// (wired to mapreduce.Job.OnNodeCrash when a chaos plan is attached).
+func (co *compiled) resetNode(node sim.NodeID) {
+	for _, x := range co.execs {
+		x.resetNode(node)
+	}
 }
 
 // attemptGuard snapshots every operator's node-shared caches ahead of a
@@ -599,12 +630,17 @@ func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, err
 func (co *compiled) engineJob(conf *IndexJobConf, k int, input *dfs.File) *mapreduce.Job {
 	cj := co.jobs[k]
 	job := &mapreduce.Job{
-		Name:         cj.name,
-		Input:        input,
-		Partition:    cj.partition,
-		NumReduce:    cj.numReduce,
-		MapPlacement: cj.mapPlacement,
-		AttemptGuard: co.attemptGuard,
+		Name:          cj.name,
+		Input:         input,
+		Partition:     cj.partition,
+		NumReduce:     cj.numReduce,
+		MapPlacement:  cj.mapPlacement,
+		AttemptGuard:  co.attemptGuard,
+		FaultInjector: conf.FaultInjector,
+		Chaos:         conf.Chaos,
+	}
+	if conf.Chaos != nil {
+		job.OnNodeCrash = co.resetNode
 	}
 	if !cj.stagesRanUpstream {
 		job.MapStagesBefore = cj.mapStages
@@ -638,9 +674,9 @@ func (rt *Runtime) runPlan(conf *IndexJobConf, plan *JobPlan) (*JobResult, error
 	input := conf.Input
 	for k := range co.jobs {
 		job := co.engineJob(conf, k, input)
-		r, err := rt.Engine.Run(job)
+		r, err := rt.runJob(job, k == 0 && len(co.jobs) == 1)
 		if err != nil {
-			return nil, fmt.Errorf("efind: job %q: %w", job.Name, err)
+			return nil, err
 		}
 		res.raw = append(res.raw, r)
 		res.VTime += r.VTime

@@ -107,13 +107,13 @@ func TestDynamicJobDeterministicUnderParallelism(t *testing.T) {
 func TestRetriesDoNotSkewCacheStats(t *testing.T) {
 	run := func(inject bool) *JobResult {
 		e := newE2E(t, 800, 25)
+		op := e.lookupOp("rollback")
+		conf := e.conf("rollback-job", ModeCache, op, headPlace)
 		if inject {
-			e.rt.Engine.FaultInjector = func(kind mapreduce.TaskKind, task, attempt int) bool {
+			conf.FaultInjector = func(kind mapreduce.TaskKind, task, attempt int) bool {
 				return kind == mapreduce.MapTask && task%3 == 0 && attempt == 1
 			}
 		}
-		op := e.lookupOp("rollback")
-		conf := e.conf("rollback-job", ModeCache, op, headPlace)
 		res, err := e.rt.Submit(conf)
 		if err != nil {
 			t.Fatal(err)

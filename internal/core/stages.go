@@ -48,6 +48,7 @@ func newOpExec(op *Operator, plan OperatorPlan, conf *IndexJobConf) *opExec {
 			ErrorPolicy:   conf.ErrorPolicy,
 			Retry:         conf.Retry,
 			Batch:         conf.Batch,
+			Chaos:         conf.Chaos,
 		})
 	}
 	return x
@@ -64,6 +65,14 @@ func (x *opExec) snapshotNode(node sim.NodeID) func() {
 		for _, rb := range rollbacks {
 			rb()
 		}
+	}
+}
+
+// resetNode drops the operator clients' caches on one node (node crash:
+// per-machine soft state restarts cold).
+func (x *opExec) resetNode(node sim.NodeID) {
+	for _, c := range x.clients {
+		c.ResetNode(node)
 	}
 }
 

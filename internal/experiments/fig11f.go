@@ -26,10 +26,9 @@ func generateSyn(l *lab, cfg workloads.SyntheticConfig) (*dfs.File, *kvstore.Sto
 	return workloads.GenerateSynthetic(l.fs, "syn", cfg)
 }
 
-// buildSynConf composes the synthetic join of §5.1 as an EFind job: look
-// up every record's key in the index, attach the l-sized value, group by
-// record key.
-func buildSynConf(name string, input *dfs.File, store *kvstore.Store, mode core.Mode) *core.IndexJobConf {
+// synOperator builds the synthetic join's index operator: look up each
+// record's key, attach the l-sized index value.
+func synOperator(store *kvstore.Store) *core.Operator {
 	op := core.NewOperator("syn",
 		func(in core.Pair) core.PreResult {
 			return core.PreResult{Pair: in, Keys: [][]string{{workloads.SyntheticKey(in.Value)}}}
@@ -42,6 +41,14 @@ func buildSynConf(name string, input *dfs.File, store *kvstore.Store, mode core.
 			emit(core.Pair{Key: pair.Key, Value: pair.Value + "\x00" + joined})
 		})
 	op.AddIndex(store)
+	return op
+}
+
+// buildSynConf composes the synthetic join of §5.1 as an EFind job: look
+// up every record's key in the index, attach the l-sized value, group by
+// record key.
+func buildSynConf(name string, input *dfs.File, store *kvstore.Store, mode core.Mode) *core.IndexJobConf {
+	op := synOperator(store)
 	conf := &core.IndexJobConf{
 		Name:  name,
 		Input: input,

@@ -29,6 +29,7 @@ func All() []Experiment {
 		{ID: "ablation-boundary", Description: "Re-partitioning job boundary choice", Run: AblationBoundary},
 		{ID: "ablation-convergence", Description: "Dynamic converges to optimized as input grows (§5.3)", Run: AblationDynamicConvergence},
 		{ID: "ablation-straggler", Description: "Index locality under a straggler node (footnote 3)", Run: AblationStraggler},
+		{ID: "ablation-chaos", Description: "Seeded fault schedules: crash, speculation, index outage — same answer", Run: AblationChaos},
 		{ID: "batchcmp", Description: "Batched multi-get vs per-key lookups on the synthetic sweep", Run: BatchCompare},
 	}
 }

@@ -9,8 +9,11 @@
 //     engine's fault tolerance needs;
 //   - policy: the error policy — count-and-continue (paper-faithful) or
 //     fail the job with the index name and lookup key;
-//   - retry: deterministic exponential backoff for transient index
-//     errors, plus an optional client-side deadline;
+//   - retry: capped exponential backoff with deterministic seeded jitter
+//     for transient index errors, plus an optional client-side deadline;
+//   - availability: the chaos plan's index partition outages — a down
+//     partition fails the access with a transient error before anything
+//     is charged (absent when the plan has no outages);
 //   - accounting: the serve-time charge T_j, network transfer charges,
 //     lookup/probe/miss/error counters, and the Nik/Sik/FM-sketch
 //     statistics the optimizer consumes;
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"sync"
 
+	"efind/internal/chaos"
 	"efind/internal/index"
 	"efind/internal/lru"
 	"efind/internal/mapreduce"
@@ -79,6 +83,18 @@ type RetryPolicy struct {
 	Backoff float64
 	// Factor multiplies the backoff between attempts (0 = 2).
 	Factor float64
+	// Cap bounds a single backoff wait (0 = uncapped). Without a cap,
+	// long retry ladders against a dead partition grow exponentially past
+	// any outage window instead of polling it at a steady cadence.
+	Cap float64
+	// Jitter spreads each wait by a deterministic seeded factor in
+	// [1-Jitter, 1+Jitter], keyed by lookup key and attempt. Fixed-delay
+	// retries make synchronized retry storms against a recovering
+	// partition; jittered ones desynchronize while staying bit-identical
+	// run to run (0 = no jitter).
+	Jitter float64
+	// Seed drives the jitter draws.
+	Seed int64
 	// Timeout is a client-side deadline: an index whose serve time
 	// exceeds it has the access abandoned after Timeout virtual seconds
 	// and surfaces a transient error (0 = no deadline).
@@ -102,6 +118,11 @@ type Options struct {
 	// implements it, charged one network round trip per remote partition
 	// group instead of one per remote key.
 	Batch bool
+	// Chaos, when set and carrying outages, inserts the availability
+	// middleware: an access whose key falls in a partition inside an
+	// outage window fails with chaos.ErrUnavailable (transient, so the
+	// retry ladder polls for recovery) before any serve or network charge.
+	Chaos *chaos.Plan
 }
 
 // DefaultCacheCapacity is the paper's lookup cache size (1024 entries).
@@ -194,7 +215,7 @@ func New(acc index.Accessor, opts Options) *Client {
 	if p, ok := acc.(index.Partitioned); ok {
 		c.scheme = p.Scheme()
 	}
-	inner := Chain(c.terminal, c.accounting, c.retry, c.policy)
+	inner := Chain(c.terminal, c.accounting, c.availability, c.retry, c.policy)
 	c.direct = Chain(inner, c.spans)
 	c.inline = c.direct
 	if opts.CacheMode != CacheOff {
@@ -326,6 +347,16 @@ func (c *Client) SnapshotNode(node sim.NodeID) func() {
 		}
 		c.mu.Unlock()
 	}
+}
+
+// ResetNode drops the client's caches on one node. The engine's chaos
+// machinery calls it when the node crashes: a rebooted TaskTracker
+// restarts with cold per-machine lookup caches, real and shadow alike.
+func (c *Client) ResetNode(node sim.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.real, node)
+	delete(c.shadow, node)
 }
 
 // valueBytes sizes a lookup result the way the wire format would.

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"efind/internal/chaos"
 	"efind/internal/index"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
@@ -354,4 +355,136 @@ func containsStr(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+func TestRetryBackoffCappedAndJitterDeterministic(t *testing.T) {
+	run := func() float64 {
+		f := newFake("kv")
+		f.serve = 0
+		f.failFirst = 3
+		c := New(f, Options{Op: "op", Retry: RetryPolicy{
+			Max: 3, Backoff: 0.1, Factor: 2, Cap: 0.15, Jitter: 0.5, Seed: 42,
+		}})
+		ctx := testCtx(0)
+		c.Access(ctx, "a")
+		return ctx.Extra()
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("jittered backoff not deterministic: %.9f vs %.9f", first, second)
+	}
+	// Uncapped, unjittered waits would be 0.1+0.2+0.4 = 0.7; the cap bounds
+	// attempts 1 and 2 at 0.15, and jitter 0.5 scales each wait by at most
+	// 1.5, so the total must sit inside (0, (0.1+0.15+0.15)*1.5].
+	if max := (0.1 + 0.15 + 0.15) * 1.5; first <= 0 || first > max {
+		t.Fatalf("capped jittered backoff charged %.4f, want in (0, %.4f]", first, max)
+	}
+}
+
+func TestRetryWithoutCapMatchesGeometricSeries(t *testing.T) {
+	f := newFake("kv")
+	f.serve = 0
+	f.failFirst = 2
+	c := New(f, Options{Op: "op", Retry: RetryPolicy{Max: 3, Backoff: 0.1, Factor: 2}})
+	ctx := testCtx(0)
+	c.Access(ctx, "a")
+	// Extra = backoff plus tiny per-attempt network charges; the backoff
+	// component must be exactly the plain geometric series 0.1 + 0.2.
+	if want := 0.1 + 0.2; ctx.Extra() < want || ctx.Extra() > want+1e-3 {
+		t.Fatalf("zero Cap/Jitter must keep the plain geometric backoff: charged %.9f, want %.9f+net", ctx.Extra(), want)
+	}
+}
+
+func TestOutageShortCircuitsBeforeCharges(t *testing.T) {
+	f := newFake("kv")
+	plan := chaos.MustNew(chaos.Config{Outages: []chaos.Outage{
+		{Index: "kv", Partition: -1, From: 0, Until: math.Inf(1)},
+	}}, 4)
+	c := New(f, Options{Op: "op", Chaos: plan})
+	ctx := testCtx(0)
+
+	if got := c.Access(ctx, "a"); len(got) != 0 {
+		t.Fatalf("lookup during outage = %v, want empty", got)
+	}
+	if f.calls != 0 {
+		t.Fatalf("down partition still reached the index: %d calls", f.calls)
+	}
+	if ctx.Extra() != 0 {
+		t.Fatalf("down partition charged %.6f virtual seconds, want 0", ctx.Extra())
+	}
+	if l := ctx.Counter(CtrLookups("op", "kv")); l != 0 {
+		t.Fatalf("lookups = %d, want 0 (nothing served)", l)
+	}
+	if u := ctx.Counter(chaos.CtrUnavailable); u != 1 {
+		t.Fatalf("%s = %d, want 1", chaos.CtrUnavailable, u)
+	}
+	if e := ctx.Counter(CtrErrors("op", "kv")); e != 1 {
+		t.Fatalf("errors = %d, want 1", e)
+	}
+}
+
+func TestOutageEndsInsideRetryBudget(t *testing.T) {
+	f := newFake("kv")
+	plan := chaos.MustNew(chaos.Config{Outages: []chaos.Outage{
+		{Index: "kv", Partition: -1, From: 0, Until: 0.5},
+	}}, 4)
+	c := New(f, Options{Op: "op", Chaos: plan, Retry: RetryPolicy{Max: 4, Backoff: 0.2, Factor: 2}})
+	ctx := testCtx(0)
+
+	// Backoff charges advance Task.Now past the window's end at 0.5:
+	// attempts at Now = 0, 0.2, then 0.6 — the third one is served.
+	if got := c.Access(ctx, "a"); !reflect.DeepEqual(got, []string{"va"}) {
+		t.Fatalf("lookup after outage end = %v, want [va]", got)
+	}
+	if u := ctx.Counter(chaos.CtrUnavailable); u != 2 {
+		t.Fatalf("%s = %d, want 2 attempts inside the window", chaos.CtrUnavailable, u)
+	}
+	if r := ctx.Counter(CtrRetries("op", "kv")); r != 2 {
+		t.Fatalf("retries = %d, want 2", r)
+	}
+	if e := ctx.Counter(CtrErrors("op", "kv")); e != 0 {
+		t.Fatalf("errors = %d, want 0 (the access eventually succeeded)", e)
+	}
+}
+
+func TestOutageRespectsPartitionScoping(t *testing.T) {
+	f := newFake("kv")
+	f.scheme = &index.Scheme{Partitions: 2, Fn: func(k string) int {
+		if k == "a" {
+			return 0
+		}
+		return 1
+	}}
+	plan := chaos.MustNew(chaos.Config{Outages: []chaos.Outage{
+		{Index: "kv", Partition: 0, From: 0, Until: math.Inf(1)},
+	}}, 4)
+	c := New(f, Options{Op: "op", Chaos: plan})
+	ctx := testCtx(0)
+
+	if got := c.Access(ctx, "a"); len(got) != 0 {
+		t.Fatalf("lookup on down partition = %v, want empty", got)
+	}
+	if got := c.Access(ctx, "b"); !reflect.DeepEqual(got, []string{"vb1", "vb2"}) {
+		t.Fatalf("lookup on healthy partition = %v, want [vb1 vb2]", got)
+	}
+	if u := ctx.Counter(chaos.CtrUnavailable); u != 1 {
+		t.Fatalf("%s = %d, want 1", chaos.CtrUnavailable, u)
+	}
+}
+
+func TestResetNodeColdCaches(t *testing.T) {
+	f := newFake("kv")
+	c := New(f, Options{Op: "op", CacheMode: CacheReal})
+	ctx := testCtx(0)
+
+	c.Lookup(ctx, "a")
+	c.Lookup(ctx, "a")
+	if f.calls != 1 {
+		t.Fatalf("warm-up saw %d calls, want 1", f.calls)
+	}
+	c.ResetNode(0)
+	c.Lookup(ctx, "a")
+	if f.calls != 2 {
+		t.Fatalf("post-reset lookup must miss: %d calls, want 2", f.calls)
+	}
 }

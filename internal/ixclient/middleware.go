@@ -3,6 +3,7 @@ package ixclient
 import (
 	"errors"
 
+	"efind/internal/chaos"
 	"efind/internal/index"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
@@ -103,32 +104,61 @@ func (c *Client) policy(next Handler) Handler {
 	}
 }
 
-// retry re-attempts transient failures with deterministic exponential
-// backoff, charged as virtual time. Only errors marked transient
-// (index.ErrTransient, e.g. the client-side deadline) are retried; a
-// deterministic logic error would fail identically every attempt.
+// retry re-attempts transient failures with capped exponential backoff
+// and deterministic seeded jitter, charged as virtual time. Only errors
+// marked transient (index.ErrTransient: the client-side deadline, an
+// outage window) are retried; a deterministic logic error would fail
+// identically every attempt. The backoff charge advances Task.Now, so an
+// outage whose window ends inside the retry budget is survived: the
+// re-attempt after the window sees the partition back up.
 func (c *Client) retry(next Handler) Handler {
 	p := c.opts.Retry
 	if p.Max <= 0 {
 		return next
 	}
-	factor := p.Factor
-	if factor <= 0 {
-		factor = 2
-	}
+	b := chaos.Backoff{Base: p.Backoff, Factor: p.Factor, Cap: p.Cap, Jitter: p.Jitter, Seed: p.Seed}
 	retries := CtrRetries(c.opts.Op, c.acc.Name())
 	return func(r *Request) ([][]string, error) {
 		vals, err := next(r)
-		backoff := p.Backoff
 		for attempt := 0; attempt < p.Max && err != nil && errors.Is(err, index.ErrTransient); attempt++ {
-			if backoff > 0 {
-				r.Task.Charge(backoff)
+			if w := b.Wait(r.Keys[0], attempt); w > 0 {
+				r.Task.Charge(w)
 			}
 			r.Task.Inc(retries, 1)
 			vals, err = next(r)
-			backoff *= factor
 		}
 		return vals, err
+	}
+}
+
+// availability enforces the chaos plan's index partition outages: an
+// access whose key falls in a partition that is down at the task's
+// current virtual time fails with chaos.ErrUnavailable before any serve
+// or network charge — a dead partition answers nothing, so nothing is
+// billed. The error is transient, so the retry stage above polls for the
+// window's end; once retries are exhausted it climbs to the core runtime,
+// which degrades the operator's strategy (failure-triggered
+// re-optimization) before failing the job. The stage vanishes entirely on
+// plans without outages.
+func (c *Client) availability(next Handler) Handler {
+	plan := c.opts.Chaos
+	if plan == nil || !plan.HasOutages() {
+		return next
+	}
+	ix := c.acc.Name()
+	return func(r *Request) ([][]string, error) {
+		now := r.Task.Now()
+		for _, k := range r.Keys {
+			part := 0
+			if c.scheme != nil {
+				part = c.scheme.Fn(k)
+			}
+			if plan.PartitionDown(ix, part, now) {
+				r.Task.Inc(chaos.CtrUnavailable, 1)
+				return make([][]string, len(r.Keys)), &lookupError{key: k, err: chaos.ErrUnavailable}
+			}
+		}
+		return next(r)
 	}
 }
 

@@ -1,0 +1,384 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"efind/internal/chaos"
+	"efind/internal/sim"
+)
+
+// This file applies a job's chaos schedule to a completed phase. Both
+// fault kinds are resolved AFTER the scheduler returns, at a serial
+// point, so the rewriting below is deterministic under the parallel
+// executor too:
+//
+//   - Speculative execution replays Hadoop's backup-task policy against
+//     the known schedule: any task that ran past Threshold× the phase's
+//     median duration gets a backup attempt on the least-loaded
+//     surviving node, launched the moment the task became officially
+//     late. The first finisher wins the assignment; the loser's side
+//     effects are rolled back (backup cache pollution via AttemptGuard)
+//     or never committed (task-local counters are dropped with the
+//     losing attempt). Cost accounting keeps the ORIGINAL attempt's
+//     counters either way — chaos only slowed that attempt down, so its
+//     counters are exactly the fault-free run's, which is what keeps
+//     accounting bit-identical.
+//
+//   - Node crashes discard every assignment the crashed node held —
+//     in-flight and completed-but-unfetched map outputs alike, as a
+//     dead TaskTracker does — and re-run them on the surviving nodes
+//     via a recovery wave scheduled at the crash instant. Recovery
+//     attempts are not themselves crashed or speculated (single pass);
+//     a crash during the reduce phase only re-runs reduce tasks,
+//     because the model treats map outputs as fetched when the reduce
+//     phase starts (an "eager shuffle" — see DESIGN.md for the
+//     deviation from Hadoop's pull shuffle).
+
+// applyMapChaos rewrites a finished map phase per the job's chaos plan.
+func (e *Engine) applyMapChaos(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
+	if job.Chaos == nil || firstError(taskErrs) != nil {
+		return
+	}
+	e.speculateMap(job, base, res, splits)
+	e.crashMap(job, base, res, splits, taskErrs)
+	refreshPhase(&res.Phase)
+}
+
+// applyReduceChaos is applyMapChaos's reduce-side twin.
+func (e *Engine) applyReduceChaos(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error) {
+	if job.Chaos == nil || firstError(taskErrs) != nil {
+		return
+	}
+	e.speculateReduce(job, base, sub, outputs)
+	e.crashReduce(job, base, sub, outputs, taskErrs)
+	refreshPhase(&sub.Phase)
+}
+
+// medianDuration returns the median assignment duration of a phase — the
+// progress yardstick speculation measures stragglers against.
+func medianDuration(assigns []sim.Assignment) float64 {
+	durs := make([]float64, len(assigns))
+	for i, a := range assigns {
+		durs[i] = a.Duration
+	}
+	sort.Float64s(durs)
+	return durs[len(durs)/2]
+}
+
+// backupNode picks the surviving node a backup attempt launches on: the
+// node (other than the straggler's own, and not down at absAt) whose
+// busiest lane drains first, ties broken by node ID. Returns -1 when no
+// node qualifies. The returned free time is phase-relative, like
+// assignment starts.
+func (e *Engine) backupNode(assigns []sim.Assignment, exclude sim.NodeID, job *Job, absAt float64) (sim.NodeID, float64) {
+	free := make([]float64, e.Cluster.Nodes())
+	for _, a := range assigns {
+		if end := a.Start + a.Duration; end > free[a.Node] {
+			free[a.Node] = end
+		}
+	}
+	best := sim.NodeID(-1)
+	bestFree := 0.0
+	for n := 0; n < e.Cluster.Nodes(); n++ {
+		id := sim.NodeID(n)
+		if id == exclude || job.Chaos.NodeDown(id, absAt) {
+			continue
+		}
+		if best < 0 || free[n] < bestFree {
+			best, bestFree = id, free[n]
+		}
+	}
+	return best, bestFree
+}
+
+// commitBackup resolves one speculation race. The winner keeps the
+// assignment's placement and timing; the loser's attempt is discarded.
+// Accounting counters and sketches always stay with the original attempt
+// (see the file comment), and the race outcome is recorded on the task's
+// own counters so it flows through job results, trace metrics, and
+// profiles like any other counter.
+func commitBackup(a *sim.Assignment, st *TaskStats, backupNode sim.NodeID, backupStart, backupDur float64, backupStats TaskStats, local bool) bool {
+	st.Counters[chaos.CtrSpecLaunched]++
+	if backupStart+backupDur >= a.Start+a.Duration {
+		st.Counters[chaos.CtrSpecLost]++
+		return false
+	}
+	st.Counters[chaos.CtrSpecWon]++
+	backupStats.Counters = st.Counters
+	backupStats.Sketches = st.Sketches
+	*st = backupStats
+	a.Node = backupNode
+	a.Slot = 0
+	a.Start = backupStart
+	a.Duration = backupDur
+	a.Local = local
+	return true
+}
+
+// specInstant emits the race outcome as a trace instant.
+func (e *Engine) specInstant(name string, task int, won bool) {
+	if e.Trace == nil {
+		return
+	}
+	verdict := "lost"
+	if won {
+		verdict = "won"
+	}
+	e.Trace.AddInstant(fmt.Sprintf("speculate:%s[%d] %s", name, task, verdict), "chaos")
+}
+
+// speculateMap launches backup attempts for map stragglers.
+func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, splits []int) {
+	spec := job.Chaos.Spec()
+	if !spec.Enabled || len(res.Phase.Assignments) < 2 {
+		return
+	}
+	med := medianDuration(res.Phase.Assignments)
+	if med <= 0 {
+		return
+	}
+	launched := 0
+	cfg := e.Cluster.Config()
+	for ai := range res.Phase.Assignments {
+		a := &res.Phase.Assignments[ai]
+		if a.Duration <= spec.Threshold*med {
+			continue
+		}
+		if spec.MaxPerPhase > 0 && launched >= spec.MaxPerPhase {
+			break
+		}
+		launched++
+		i := a.Task
+		s := splits[i]
+		chunk := job.Input.Chunks[s]
+		detect := a.Start + spec.Threshold*med
+		node, freeAt := e.backupNode(res.Phase.Assignments, a.Node, job, base+detect)
+		if node < 0 {
+			continue
+		}
+		start := detect
+		if freeAt > start {
+			start = freeAt
+		}
+		var rollback func()
+		if job.AttemptGuard != nil {
+			rollback = job.AttemptGuard(node)
+		}
+		out, st, err := e.mapAttempt(job, i, s, chunk, node, base+start)
+		if rollback != nil {
+			rollback() // a backup's cache pollution never commits, win or lose
+		}
+		if err != nil {
+			// The backup aborted (e.g. it straddled an outage window the
+			// original missed). Hadoop kills failed backups without
+			// failing the task; the original attempt stands.
+			res.Stats[i].Counters[chaos.CtrSpecLaunched]++
+			res.Stats[i].Counters[chaos.CtrSpecLost]++
+			e.specInstant(job.Name+"/map", i, false)
+			continue
+		}
+		dur := (cfg.TaskStartup + st.Duration) / cfg.SpeedOf(node)
+		preferred := chunk.Replicas
+		if job.MapPlacement != nil {
+			preferred = job.MapPlacement(s, chunk)
+		}
+		won := commitBackup(a, &res.Stats[i], node, start, dur, st, sim.ContainsNode(preferred, node))
+		if won {
+			res.Outputs[i] = out // identical records; Node now names the winner
+		}
+		e.specInstant(job.Name+"/map", i, won)
+	}
+}
+
+// speculateReduce launches backup attempts for reduce stragglers.
+func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput) {
+	spec := job.Chaos.Spec()
+	if !spec.Enabled || len(sub.Phase.Assignments) < 2 {
+		return
+	}
+	med := medianDuration(sub.Phase.Assignments)
+	if med <= 0 {
+		return
+	}
+	launched := 0
+	cfg := e.Cluster.Config()
+	for ai := range sub.Phase.Assignments {
+		a := &sub.Phase.Assignments[ai]
+		if a.Duration <= spec.Threshold*med {
+			continue
+		}
+		if spec.MaxPerPhase > 0 && launched >= spec.MaxPerPhase {
+			break
+		}
+		launched++
+		i := a.Task
+		r := sub.Reducers[i]
+		detect := a.Start + spec.Threshold*med
+		node, freeAt := e.backupNode(sub.Phase.Assignments, a.Node, job, base+detect)
+		if node < 0 {
+			continue
+		}
+		start := detect
+		if freeAt > start {
+			start = freeAt
+		}
+		var rollback func()
+		if job.AttemptGuard != nil {
+			rollback = job.AttemptGuard(node)
+		}
+		shard, st, err := e.reduceAttempt(job, r, node, outputs, base+start)
+		if rollback != nil {
+			rollback()
+		}
+		if err != nil {
+			sub.Stats[i].Counters[chaos.CtrSpecLaunched]++
+			sub.Stats[i].Counters[chaos.CtrSpecLost]++
+			e.specInstant(job.Name+"/reduce", r, false)
+			continue
+		}
+		dur := (cfg.TaskStartup + st.Duration) / cfg.SpeedOf(node)
+		won := commitBackup(a, &sub.Stats[i], node, start, dur, st, false)
+		if won {
+			sub.Shards[i] = shard
+			sub.Homes[i] = node
+		}
+		e.specInstant(job.Name+"/reduce", r, won)
+	}
+}
+
+// crashMap absorbs the crash events falling inside the map phase's
+// window: for each crash, every assignment the dead node holds is
+// discarded and re-executed as a recovery wave on the surviving nodes,
+// starting at the crash instant.
+func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
+	for _, cr := range job.Chaos.CrashesIn(base, base+res.Phase.Makespan) {
+		res.Counters[chaos.CtrNodeCrashes]++
+		if e.Trace != nil {
+			e.Trace.AddInstant(fmt.Sprintf("crash:node%d", cr.Node), "chaos")
+			e.Trace.Metrics.Add(chaos.CtrNodeCrashes, 1)
+		}
+		if job.OnNodeCrash != nil {
+			job.OnNodeCrash(cr.Node)
+		}
+		lost := assignmentsOn(res.Phase.Assignments, cr.Node)
+		if len(lost) == 0 {
+			continue
+		}
+		_, seq := e.beginPhase() // fresh deterministic key for recovery draws
+		recTasks := make([]sim.Task, len(lost))
+		origTask := make([]int, len(lost))
+		for j, ai := range lost {
+			i := res.Phase.Assignments[ai].Task
+			origTask[j] = i
+			s := splits[i]
+			chunk := job.Input.Chunks[s]
+			preferred := append([]sim.NodeID(nil), chunk.Replicas...)
+			if job.MapPlacement != nil {
+				preferred = job.MapPlacement(s, chunk)
+			}
+			recTasks[j] = sim.Task{
+				Preferred: preferred,
+				Run:       e.mapTaskRun(job, cr.At, seq, i, s, chunk, res, taskErrs),
+			}
+		}
+		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().MapSlotsPerNode, func(n sim.NodeID) bool {
+			return job.Chaos.NodeDown(n, cr.At)
+		})
+		spliceRecovery(res.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base)
+		for _, i := range origTask {
+			if res.Stats[i].Counters != nil {
+				res.Stats[i].Counters[chaos.CtrTasksLost]++
+			}
+		}
+	}
+}
+
+// crashReduce is crashMap's reduce-side twin. Map outputs survive
+// (eager shuffle); only the dead node's reduce tasks re-run.
+func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error) {
+	for _, cr := range job.Chaos.CrashesIn(base, base+sub.Phase.Makespan) {
+		sub.Counters[chaos.CtrNodeCrashes]++
+		if e.Trace != nil {
+			e.Trace.AddInstant(fmt.Sprintf("crash:node%d", cr.Node), "chaos")
+			e.Trace.Metrics.Add(chaos.CtrNodeCrashes, 1)
+		}
+		if job.OnNodeCrash != nil {
+			job.OnNodeCrash(cr.Node)
+		}
+		lost := assignmentsOn(sub.Phase.Assignments, cr.Node)
+		if len(lost) == 0 {
+			continue
+		}
+		_, seq := e.beginPhase()
+		recTasks := make([]sim.Task, len(lost))
+		origTask := make([]int, len(lost))
+		for j, ai := range lost {
+			i := sub.Phase.Assignments[ai].Task
+			origTask[j] = i
+			recTasks[j] = sim.Task{
+				Run: e.reduceTaskRun(job, cr.At, seq, i, sub.Reducers[i], outputs, sub, taskErrs),
+			}
+		}
+		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().ReduceSlotsPerNode, func(n sim.NodeID) bool {
+			return job.Chaos.NodeDown(n, cr.At)
+		})
+		spliceRecovery(sub.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base)
+		for _, i := range origTask {
+			if sub.Stats[i].Counters != nil {
+				sub.Stats[i].Counters[chaos.CtrTasksLost]++
+			}
+		}
+	}
+}
+
+// assignmentsOn returns the positions of every assignment currently
+// placed on the given node.
+func assignmentsOn(assigns []sim.Assignment, node sim.NodeID) []int {
+	var out []int
+	for ai, a := range assigns {
+		if a.Node == node {
+			out = append(out, ai)
+		}
+	}
+	return out
+}
+
+// spliceRecovery replaces the lost assignments with their recovery
+// placements, shifting recovery starts by the crash offset so all starts
+// stay phase-relative.
+func spliceRecovery(assigns []sim.Assignment, lost, origTask []int, rec []sim.Assignment, offset float64) {
+	for _, ra := range rec {
+		ai := lost[ra.Task]
+		assigns[ai] = sim.Assignment{
+			Task:     origTask[ra.Task],
+			Node:     ra.Node,
+			Slot:     ra.Slot,
+			Start:    offset + ra.Start,
+			Duration: ra.Duration,
+			Local:    ra.Local,
+		}
+	}
+}
+
+// refreshPhase recomputes a phase's aggregates after chaos rewrote its
+// assignments, and restores the (start, task) ordering the trace
+// exporter relies on.
+func refreshPhase(p *sim.PhaseResult) {
+	p.Makespan = 0
+	p.LocalTasks = 0
+	for _, a := range p.Assignments {
+		if end := a.Start + a.Duration; end > p.Makespan {
+			p.Makespan = end
+		}
+		if a.Local {
+			p.LocalTasks++
+		}
+	}
+	sort.Slice(p.Assignments, func(i, j int) bool {
+		if p.Assignments[i].Start != p.Assignments[j].Start {
+			return p.Assignments[i].Start < p.Assignments[j].Start
+		}
+		return p.Assignments[i].Task < p.Assignments[j].Task
+	})
+}

@@ -1,0 +1,247 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"efind/internal/chaos"
+	"efind/internal/dfs"
+	"efind/internal/obs"
+	"efind/internal/sim"
+)
+
+// chaosEnv is testEnv with a configurable executor parallelism and a
+// task startup cost small enough that a chaos-slowed task really runs
+// past the speculation threshold (with testEnv's 0.01 startup the
+// constant term drowns the slowdown of the actual work).
+func chaosEnv(t *testing.T, parallelism int) (*dfs.FS, *Engine) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MapSlotsPerNode = 2
+	cfg.ReduceSlotsPerNode = 1
+	cfg.TaskStartup = 0.0001
+	cfg.Parallelism = parallelism
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 1 << 10
+	return fs, New(cluster, fs)
+}
+
+// rawOutput returns the output records in shard order, un-sorted: the
+// chaos tests assert BIT-identical output, not merely equal multisets.
+func rawOutput(r *Result) []string {
+	var out []string
+	for _, rec := range r.Output.All() {
+		out = append(out, rec.Key+"\x00"+rec.Value)
+	}
+	return out
+}
+
+func sameRaw(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: output sizes differ: %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: outputs differ at %d:\n  want %q\n  got  %q", label, i, want[i], got[i])
+		}
+	}
+}
+
+// nonChaosCounters strips the counters the chaos machinery itself emits,
+// leaving the cost-model-relevant ones that must match a fault-free run.
+func nonChaosCounters(c map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(c))
+	for k, v := range c {
+		if strings.HasPrefix(k, "chaos.") || strings.HasPrefix(k, "task.speculative.") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TestChaosCrashRecoveryBitIdenticalOutput crashes one node mid-map and
+// demands the lost tasks re-run on survivors with output and cost
+// counters bit-identical to the fault-free run.
+func TestChaosCrashRecoveryBitIdenticalOutput(t *testing.T) {
+	fs, e := chaosEnv(t, 1)
+	in := makeInput(t, fs, "in", 900)
+	clean, err := e.Run(wordCountJob(in, "wc-clean", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the node holding the first assignment, halfway through the
+	// (identically scheduled) map phase, with no recovery until long
+	// after the job: the recovery wave must avoid the dead node.
+	victim := clean.MapPhase.Assignments[0].Node
+	at := 0.5 * clean.MapPhase.Makespan
+	fs2, e2 := chaosEnv(t, 1)
+	in2 := makeInput(t, fs2, "in", 900)
+	job := wordCountJob(in2, "wc-crash", false)
+	job.Chaos = chaos.MustNew(chaos.Config{
+		Seed:    1,
+		Crashes: []chaos.Crash{{Node: victim, At: at, Recover: at + 1000}},
+	}, 4)
+	crashed, err := e2.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := crashed.Counters[chaos.CtrNodeCrashes]; got != 1 {
+		t.Fatalf("node crashes = %d, want 1", got)
+	}
+	if crashed.Counters[chaos.CtrTasksLost] == 0 {
+		t.Fatal("crash discarded no tasks; the victim held assignments")
+	}
+	for _, a := range crashed.MapPhase.Assignments {
+		if a.Node == victim {
+			t.Fatalf("map task %d still placed on crashed node %d", a.Task, victim)
+		}
+	}
+	if crashed.VTime <= clean.VTime {
+		t.Fatalf("re-executing lost tasks should cost virtual time: %g vs clean %g", crashed.VTime, clean.VTime)
+	}
+	sameRaw(t, "crash-recovery", rawOutput(clean), rawOutput(crashed))
+	if want, got := nonChaosCounters(clean.Counters), nonChaosCounters(crashed.Counters); !reflect.DeepEqual(want, got) {
+		t.Fatalf("crash recovery skewed cost counters:\n want %v\n got  %v", want, got)
+	}
+}
+
+// TestChaosSpeculationNeverDoubleCharges injects stragglers with
+// speculative backups across several seeds: whatever the race outcomes,
+// the output must stay bit-identical and the losing attempts' work must
+// never leak into the cost-model counters.
+func TestChaosSpeculationNeverDoubleCharges(t *testing.T) {
+	fs, e := chaosEnv(t, 1)
+	in := makeInput(t, fs, "in", 900)
+	clean, err := e.Run(wordCountJob(in, "wc-clean", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRaw := rawOutput(clean)
+	cleanCtr := nonChaosCounters(clean.Counters)
+
+	for _, seed := range []int64{7, 21, 99} {
+		fs2, e2 := chaosEnv(t, 1)
+		in2 := makeInput(t, fs2, "in", 900)
+		job := wordCountJob(in2, fmt.Sprintf("wc-spec-%d", seed), false)
+		job.Chaos = chaos.MustNew(chaos.Config{
+			Seed:            seed,
+			Spec:            chaos.Speculation{Enabled: true},
+			StragglerRate:   0.25,
+			StragglerFactor: 6,
+		}, 4)
+		res, err := e2.Run(job)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		launched := res.Counters[chaos.CtrSpecLaunched]
+		if launched == 0 {
+			t.Fatalf("seed %d: no speculative backups launched", seed)
+		}
+		if won, lost := res.Counters[chaos.CtrSpecWon], res.Counters[chaos.CtrSpecLost]; won+lost != launched {
+			t.Fatalf("seed %d: speculation races unaccounted: launched %d, won %d, lost %d", seed, launched, won, lost)
+		}
+		sameRaw(t, fmt.Sprintf("speculation-seed-%d", seed), cleanRaw, rawOutput(res))
+		if got := nonChaosCounters(res.Counters); !reflect.DeepEqual(cleanCtr, got) {
+			t.Fatalf("seed %d: speculative duplicates double-charged counters:\n want %v\n got  %v", seed, cleanCtr, got)
+		}
+	}
+}
+
+// chaosRunTraced runs one full chaos job (crash + stragglers + backups)
+// on a fresh environment with the given executor parallelism, returning
+// the result and the exported Chrome trace bytes.
+func chaosRunTraced(t *testing.T, parallelism int, crashAt float64) (*Result, []byte) {
+	t.Helper()
+	fs, e := chaosEnv(t, parallelism)
+	e.Trace = obs.NewTrace()
+	in := makeInput(t, fs, "in", 900)
+	job := wordCountJob(in, "wc-chaos", false)
+	job.Chaos = chaos.MustNew(chaos.Config{
+		Seed:            42,
+		Crashes:         []chaos.Crash{{Node: 1, At: crashAt, Recover: crashAt + 1000}},
+		Spec:            chaos.Speculation{Enabled: true},
+		StragglerRate:   0.3,
+		StragglerFactor: 5,
+	}, 4)
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestChaosSameSeedSerialParallelIdentical: one seed, serial and
+// parallel executors — output, every counter, the virtual makespan, and
+// the exported trace must be bit-identical.
+func TestChaosSameSeedSerialParallelIdentical(t *testing.T) {
+	fs, e := chaosEnv(t, 1)
+	in := makeInput(t, fs, "in", 900)
+	clean, err := e.Run(wordCountJob(in, "wc-clean", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := 0.4 * clean.MapPhase.Makespan
+
+	serial, serialTrace := chaosRunTraced(t, 1, crashAt)
+	parallel, parallelTrace := chaosRunTraced(t, 8, crashAt)
+
+	if serial.VTime != parallel.VTime {
+		t.Fatalf("chaos makespan diverged: serial %g vs parallel %g", serial.VTime, parallel.VTime)
+	}
+	if !reflect.DeepEqual(serial.Counters, parallel.Counters) {
+		t.Fatalf("chaos counters diverged:\n serial   %v\n parallel %v", serial.Counters, parallel.Counters)
+	}
+	sameRaw(t, "serial-vs-parallel", rawOutput(serial), rawOutput(parallel))
+	if !bytes.Equal(serialTrace, parallelTrace) {
+		t.Fatalf("chaos trace bytes diverged: serial %d bytes vs parallel %d bytes", len(serialTrace), len(parallelTrace))
+	}
+	if serial.Counters[chaos.CtrNodeCrashes] == 0 {
+		t.Fatal("chaos run applied no crash; the determinism check is vacuous")
+	}
+}
+
+// TestChaosDifferentSeedsSameOutput: the fault schedule changes with the
+// seed, the answer never does.
+func TestChaosDifferentSeedsSameOutput(t *testing.T) {
+	fs, e := chaosEnv(t, 1)
+	in := makeInput(t, fs, "in", 900)
+	clean, err := e.Run(wordCountJob(in, "wc-clean", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := clean.MapPhase.Makespan
+
+	for _, seed := range []int64{1, 2, 3} {
+		fs2, e2 := chaosEnv(t, 1)
+		in2 := makeInput(t, fs2, "in", 900)
+		job := wordCountJob(in2, fmt.Sprintf("wc-seed-%d", seed), false)
+		job.Chaos = chaos.MustNew(chaos.Config{
+			Seed:            seed,
+			CrashCount:      1,
+			CrashFrom:       0.1 * window,
+			CrashUntil:      0.9 * window,
+			CrashRecovery:   1000,
+			Spec:            chaos.Speculation{Enabled: true},
+			StragglerRate:   0.3,
+			StragglerFactor: 5,
+		}, 4)
+		res, err := e2.Run(job)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sameRaw(t, fmt.Sprintf("seed-%d", seed), rawOutput(clean), rawOutput(res))
+	}
+}

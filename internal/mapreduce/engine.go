@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"efind/internal/dfs"
 	"efind/internal/obs"
@@ -14,24 +15,53 @@ import (
 // Task bodies may execute concurrently (sim.Config.Parallelism); the
 // engine merges per-task outputs, stats, and counters by task index, so
 // results are identical to a serial run.
+//
+// Fault injection and chaos schedules are per-Job configuration (see
+// Job.FaultInjector and Job.Chaos); the engine itself holds no mutable
+// fault state, so concurrent jobs on one engine cannot leak injectors
+// into each other.
 type Engine struct {
 	Cluster *sim.Cluster
 	FS      *dfs.FS
-	// FaultInjector, when set, is consulted after each task attempt:
-	// returning true fails that attempt after it has consumed its full
-	// duration, and the task is re-executed (MapReduce's re-execution
-	// fault tolerance). Attempts are 1-based; an attempt that is not
-	// failed succeeds. A task whose first maxAttempts attempts all fail
-	// fails the whole job, as Hadoop does once a task exhausts
-	// mapred.map.max.attempts. The injector must be safe for concurrent
-	// calls: the parallel executor consults it from several goroutines.
-	FaultInjector func(kind TaskKind, task, attempt int) bool
 	// Trace, when set, records virtual-time spans for every task (and its
 	// read/pipeline/cpu/write sub-phases), per-phase stage profiles, and
 	// folds all task counters into the trace's metrics registry. Nil (the
 	// default) keeps the hot path untouched: task contexts skip span
 	// recording entirely and allocate nothing for it.
 	Trace *obs.Trace
+
+	// The engine's virtual clock: the sum of the makespans of every phase
+	// it has run, mirroring the trace clock. Chaos schedules (crash
+	// windows, index outage windows) are expressed against this clock.
+	clockMu  sync.Mutex
+	vclock   float64
+	phaseSeq int
+}
+
+// Now returns the engine's virtual clock: the total virtual time of the
+// phases run so far. Phase-internal events add the task's own start and
+// charge times on top (TaskContext.Now).
+func (e *Engine) Now() float64 {
+	e.clockMu.Lock()
+	defer e.clockMu.Unlock()
+	return e.vclock
+}
+
+// beginPhase reads the clock and claims the next phase sequence number
+// (the deterministic key for per-phase chaos draws).
+func (e *Engine) beginPhase() (base float64, seq int) {
+	e.clockMu.Lock()
+	defer e.clockMu.Unlock()
+	seq = e.phaseSeq
+	e.phaseSeq++
+	return e.vclock, seq
+}
+
+// advance moves the virtual clock past a completed phase.
+func (e *Engine) advance(d float64) {
+	e.clockMu.Lock()
+	e.vclock += d
+	e.clockMu.Unlock()
 }
 
 // CounterTaskRetries counts failed task attempts that were re-executed.
@@ -100,6 +130,12 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 // indices (nil means all splits). Chained MapStagesBefore, Map, and
 // MapStagesAfter run per record; outputs are partitioned for NumReduce
 // reducers (or kept whole for map-only jobs).
+//
+// On a task failure the returned error is non-nil AND the result carries
+// whatever completed: Outputs[i] is non-nil exactly for the tasks that
+// succeeded. The EFind runtime reuses those completed splits when a
+// failure-triggered plan change re-runs only the missing work
+// (Figure 10(a) applied to faults).
 func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 	if err := job.validate(e); err != nil {
 		return nil, err
@@ -119,6 +155,7 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 		}
 	}
 
+	base, seq := e.beginPhase()
 	res := &MapPhaseResult{
 		Outputs:  make([]*MapOutput, len(splits)),
 		Stats:    make([]TaskStats, len(splits)),
@@ -135,36 +172,17 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 		}
 		tasks[i] = sim.Task{
 			Preferred: preferred,
-			Run: func(node sim.NodeID) float64 {
-				total := 0.0
-				for attempt := 1; attempt <= maxAttempts; attempt++ {
-					rollback := e.guardAttempt(job, node)
-					out, stats, err := e.mapAttempt(job, i, s, chunk, node)
-					if err != nil {
-						taskErrs[i] = err
-						return total
-					}
-					total += stats.Duration
-					if e.failAttempt(MapTask, i, attempt) {
-						if rollback != nil {
-							rollback()
-						}
-						continue // attempt wasted; re-execute
-					}
-					stats.Duration = total
-					stats.Counters[CounterTaskRetries] = int64(attempt - 1)
-					res.Outputs[i] = out
-					res.Stats[i] = stats
-					return total
-				}
-				taskErrs[i] = fmt.Errorf("mapreduce: job %q map task %d (split %d) failed %d attempts", job.Name, i, s, maxAttempts)
-				return total
-			},
+			Run:       e.mapTaskRun(job, base, seq, i, s, chunk, res, taskErrs),
 		}
 	}
-	res.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().MapSlotsPerNode)
+	res.Phase = e.Cluster.SchedulePhaseAvail(tasks, e.Cluster.Config().MapSlotsPerNode, job.downAt(base))
+	e.applyMapChaos(job, base, res, splits, taskErrs)
+	e.advance(res.Phase.Makespan)
 	if err := firstError(taskErrs); err != nil {
-		return nil, err
+		if job.Chaos != nil {
+			e.emitPhase(job.Name+"/map", "map", res.Phase, res.Stats)
+		}
+		return res, err
 	}
 	res.VTime = res.Phase.Makespan
 	for _, st := range res.Stats {
@@ -174,11 +192,44 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 	return res, nil
 }
 
+// mapTaskRun builds the scheduler callback for one map task: the
+// Hadoop-style retry loop around mapAttempt, with chaos straggler
+// slowdown applied to the task's virtual duration (never to its work —
+// records, counters, and cache traffic are those of a normal run).
+func (e *Engine) mapTaskRun(job *Job, base float64, seq, i, s int, chunk *dfs.Chunk, res *MapPhaseResult, taskErrs []error) func(sim.NodeID, float64) float64 {
+	slow := job.chaosSlow(seq, i)
+	return func(node sim.NodeID, start float64) float64 {
+		total := 0.0
+		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			rollback := e.guardAttempt(job, node)
+			out, stats, err := e.mapAttempt(job, i, s, chunk, node, base+start+total)
+			if err != nil {
+				taskErrs[i] = err
+				return total
+			}
+			total += stats.Duration * slow
+			if job.failAttempt(MapTask, i, attempt) {
+				if rollback != nil {
+					rollback()
+				}
+				continue // attempt wasted; re-execute
+			}
+			stats.Duration = total
+			stats.Counters[CounterTaskRetries] = int64(attempt - 1)
+			res.Outputs[i] = out
+			res.Stats[i] = stats
+			return total
+		}
+		taskErrs[i] = fmt.Errorf("mapreduce: job %q map task %d (split %d) failed %d attempts", job.Name, i, s, maxAttempts)
+		return total
+	}
+}
+
 // mapAttempt runs one map task attempt, converting a TaskContext.Abort
 // into an error. Aborts are permanent logical failures (an index error
 // under ErrorFailJob, not a crashed machine), so the caller fails the job
 // instead of re-executing the attempt.
-func (e *Engine) mapAttempt(job *Job, task, split int, chunk *dfs.Chunk, node sim.NodeID) (out *MapOutput, st TaskStats, err error) {
+func (e *Engine) mapAttempt(job *Job, task, split int, chunk *dfs.Chunk, node sim.NodeID, absStart float64) (out *MapOutput, st TaskStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ab, ok := r.(taskAbort)
@@ -188,12 +239,12 @@ func (e *Engine) mapAttempt(job *Job, task, split int, chunk *dfs.Chunk, node si
 			err = fmt.Errorf("mapreduce: job %q map task %d (split %d) aborted: %w", job.Name, task, split, ab.err)
 		}
 	}()
-	out, st = e.runMapTask(job, task, split, chunk, node)
+	out, st = e.runMapTask(job, task, split, chunk, node, absStart)
 	return out, st, nil
 }
 
 // reduceAttempt is mapAttempt's reduce-side twin.
-func (e *Engine) reduceAttempt(job *Job, r int, node sim.NodeID, outputs []*MapOutput) (shard []dfs.Record, st TaskStats, err error) {
+func (e *Engine) reduceAttempt(job *Job, r int, node sim.NodeID, outputs []*MapOutput, absStart float64) (shard []dfs.Record, st TaskStats, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			ab, ok := rec.(taskAbort)
@@ -203,7 +254,7 @@ func (e *Engine) reduceAttempt(job *Job, r int, node sim.NodeID, outputs []*MapO
 			err = fmt.Errorf("mapreduce: job %q reduce task %d aborted: %w", job.Name, r, ab.err)
 		}
 	}()
-	shard, st = e.runReduceTask(job, r, node, outputs)
+	shard, st = e.runReduceTask(job, r, node, outputs, absStart)
 	return shard, st, nil
 }
 
@@ -212,7 +263,7 @@ func (e *Engine) reduceAttempt(job *Job, r int, node sim.NodeID, outputs []*MapO
 // no-op (nil) when no faults can be injected, so normal runs skip the
 // snapshot cost entirely.
 func (e *Engine) guardAttempt(job *Job, node sim.NodeID) func() {
-	if e.FaultInjector == nil || job.AttemptGuard == nil {
+	if (job.FaultInjector == nil && job.Chaos == nil) || job.AttemptGuard == nil {
 		return nil
 	}
 	return job.AttemptGuard(node)
@@ -229,9 +280,12 @@ func firstError(errs []error) error {
 	return nil
 }
 
-// runMapTask executes one map task on the given node.
-func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node sim.NodeID) (*MapOutput, TaskStats) {
+// runMapTask executes one map task on the given node. absStart anchors
+// the task's context clock at its absolute virtual start time, so stages
+// can ask "what time is it?" (index outage windows).
+func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node sim.NodeID, absStart float64) (*MapOutput, TaskStats) {
 	ctx := NewTaskContext(e.Cluster, node, taskID, MapTask)
+	ctx.base = absStart
 	if e.Trace != nil {
 		ctx.EnableSpans()
 	}
@@ -395,12 +449,11 @@ func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, extra ...*MapPhase
 		return nil, err
 	}
 	res.Output = out
-	for _, st := range res.MapStats {
-		mergeCounters(res.Counters, st.Counters)
+	mergeCounters(res.Counters, mp.Counters)
+	for _, m := range extra {
+		mergeCounters(res.Counters, m.Counters)
 	}
-	for _, st := range res.ReduceStats {
-		mergeCounters(res.Counters, st.Counters)
-	}
+	mergeCounters(res.Counters, sub.Counters)
 	return res, nil
 }
 
@@ -413,6 +466,7 @@ type ReduceSubsetResult struct {
 	Homes    []sim.NodeID
 	Stats    []TaskStats
 	Phase    sim.PhaseResult
+	Counters map[string]int64
 	VTime    float64
 }
 
@@ -444,47 +498,60 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 		Shards:   make([][]dfs.Record, len(reducers)),
 		Homes:    make([]sim.NodeID, len(reducers)),
 		Stats:    make([]TaskStats, len(reducers)),
+		Counters: make(map[string]int64),
 	}
+	base, seq := e.beginPhase()
 	taskErrs := make([]error, len(reducers))
 	tasks := make([]sim.Task, len(reducers))
 	for i, r := range reducers {
-		i, r := i, r
 		tasks[i] = sim.Task{
-			Run: func(node sim.NodeID) float64 {
-				total := 0.0
-				for attempt := 1; attempt <= maxAttempts; attempt++ {
-					rollback := e.guardAttempt(job, node)
-					shard, st, err := e.reduceAttempt(job, r, node, outputs)
-					if err != nil {
-						taskErrs[i] = err
-						return total
-					}
-					total += st.Duration
-					if e.failAttempt(ReduceTask, r, attempt) {
-						if rollback != nil {
-							rollback()
-						}
-						continue
-					}
-					st.Duration = total
-					st.Counters[CounterTaskRetries] = int64(attempt - 1)
-					sub.Shards[i] = shard
-					sub.Homes[i] = node
-					sub.Stats[i] = st
-					return total
-				}
-				taskErrs[i] = fmt.Errorf("mapreduce: job %q reduce task %d failed %d attempts", job.Name, r, maxAttempts)
-				return total
-			},
+			Run: e.reduceTaskRun(job, base, seq, i, r, outputs, sub, taskErrs),
 		}
 	}
-	sub.Phase = e.Cluster.SchedulePhase(tasks, e.Cluster.Config().ReduceSlotsPerNode)
+	sub.Phase = e.Cluster.SchedulePhaseAvail(tasks, e.Cluster.Config().ReduceSlotsPerNode, job.downAt(base))
+	e.applyReduceChaos(job, base, sub, outputs, taskErrs)
+	e.advance(sub.Phase.Makespan)
 	if err := firstError(taskErrs); err != nil {
 		return nil, err
 	}
 	sub.VTime = sub.Phase.Makespan
+	for _, st := range sub.Stats {
+		mergeCounters(sub.Counters, st.Counters)
+	}
 	e.emitPhase(job.Name+"/reduce", "reduce", sub.Phase, sub.Stats)
 	return sub, nil
+}
+
+// reduceTaskRun builds the scheduler callback for one reduce task,
+// mirroring mapTaskRun.
+func (e *Engine) reduceTaskRun(job *Job, base float64, seq, i, r int, outputs []*MapOutput, sub *ReduceSubsetResult, taskErrs []error) func(sim.NodeID, float64) float64 {
+	slow := job.chaosSlow(seq, i)
+	return func(node sim.NodeID, start float64) float64 {
+		total := 0.0
+		for attempt := 1; attempt <= maxAttempts; attempt++ {
+			rollback := e.guardAttempt(job, node)
+			shard, st, err := e.reduceAttempt(job, r, node, outputs, base+start+total)
+			if err != nil {
+				taskErrs[i] = err
+				return total
+			}
+			total += st.Duration * slow
+			if job.failAttempt(ReduceTask, r, attempt) {
+				if rollback != nil {
+					rollback()
+				}
+				continue
+			}
+			st.Duration = total
+			st.Counters[CounterTaskRetries] = int64(attempt - 1)
+			sub.Shards[i] = shard
+			sub.Homes[i] = node
+			sub.Stats[i] = st
+			return total
+		}
+		taskErrs[i] = fmt.Errorf("mapreduce: job %q reduce task %d failed %d attempts", job.Name, r, maxAttempts)
+		return total
+	}
 }
 
 // emitPhase exports one completed phase to the attached trace: a task
@@ -539,8 +606,9 @@ func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []Tas
 
 // runReduceTask executes one reduce task: shuffle in, sort, group, reduce,
 // chained tail stages, and output collection.
-func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapOutput) ([]dfs.Record, TaskStats) {
+func (e *Engine) runReduceTask(job *Job, r int, node sim.NodeID, outputs []*MapOutput, absStart float64) ([]dfs.Record, TaskStats) {
 	ctx := NewTaskContext(e.Cluster, node, r, ReduceTask)
+	ctx.base = absStart
 	if e.Trace != nil {
 		ctx.EnableSpans()
 	}
@@ -637,18 +705,8 @@ func (e *Engine) FinishMapOnly(job *Job, mp *MapPhaseResult) (*Result, error) {
 		MapPhase:   mp.Phase,
 		MapOutputs: mp.Outputs,
 	}
-	for _, st := range mp.Stats {
-		mergeCounters(res.Counters, st.Counters)
-	}
+	mergeCounters(res.Counters, mp.Counters)
 	return res, nil
-}
-
-// failAttempt consults the fault injector. The retry loops bound attempts
-// at maxAttempts and fail the job when every attempt failed — previously
-// the final attempt skipped the injector, so a permanently failing task
-// silently succeeded.
-func (e *Engine) failAttempt(kind TaskKind, task, attempt int) bool {
-	return e.FaultInjector != nil && e.FaultInjector(kind, task, attempt)
 }
 
 // taskStats snapshots a finished task's context.

@@ -21,11 +21,11 @@ func TestFaultInjectionMapRetries(t *testing.T) {
 	}
 
 	// Fail the first attempt of every third map task.
-	e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
+	fj := job("faulty")
+	fj.FaultInjector = func(kind TaskKind, task, attempt int) bool {
 		return kind == MapTask && task%3 == 0 && attempt == 1
 	}
-	defer func() { e.FaultInjector = nil }()
-	faulty, err := e.Run(job("faulty"))
+	faulty, err := e.Run(fj)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +60,12 @@ func TestFaultInjectionMapRetries(t *testing.T) {
 func TestFaultInjectionReduceRetries(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 200)
-	e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
-		return kind == ReduceTask && attempt == 1
-	}
-	defer func() { e.FaultInjector = nil }()
-	res, err := e.Run(&Job{Name: "rfault", Input: in, NumReduce: 3, Reduce: IdentityReduce})
+	res, err := e.Run(&Job{
+		Name: "rfault", Input: in, NumReduce: 3, Reduce: IdentityReduce,
+		FaultInjector: func(kind TaskKind, task, attempt int) bool {
+			return kind == ReduceTask && attempt == 1
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,9 +87,10 @@ func TestFaultInjectionReduceRetries(t *testing.T) {
 func TestFaultInjectionLastAttemptSucceeds(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 50)
-	e.FaultInjector = func(_ TaskKind, _, attempt int) bool { return attempt < maxAttempts }
-	defer func() { e.FaultInjector = nil }()
-	res, err := e.Run(&Job{Name: "flaky", Input: in, NumReduce: 2, Reduce: IdentityReduce})
+	res, err := e.Run(&Job{
+		Name: "flaky", Input: in, NumReduce: 2, Reduce: IdentityReduce,
+		FaultInjector: func(_ TaskKind, _, attempt int) bool { return attempt < maxAttempts },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +111,10 @@ func TestFaultInjectionLastAttemptSucceeds(t *testing.T) {
 func TestFaultInjectionPermanentMapFailure(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 50)
-	e.FaultInjector = func(kind TaskKind, task, _ int) bool { return kind == MapTask && task == 0 }
-	defer func() { e.FaultInjector = nil }()
-	_, err := e.Run(&Job{Name: "doomed", Input: in, NumReduce: 2, Reduce: IdentityReduce})
+	_, err := e.Run(&Job{
+		Name: "doomed", Input: in, NumReduce: 2, Reduce: IdentityReduce,
+		FaultInjector: func(kind TaskKind, task, _ int) bool { return kind == MapTask && task == 0 },
+	})
 	if err == nil {
 		t.Fatal("permanently failing map task must fail the job")
 	}
@@ -125,9 +128,10 @@ func TestFaultInjectionPermanentMapFailure(t *testing.T) {
 func TestFaultInjectionPermanentReduceFailure(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 50)
-	e.FaultInjector = func(kind TaskKind, task, _ int) bool { return kind == ReduceTask && task == 1 }
-	defer func() { e.FaultInjector = nil }()
-	_, err := e.Run(&Job{Name: "rdoomed", Input: in, NumReduce: 3, Reduce: IdentityReduce})
+	_, err := e.Run(&Job{
+		Name: "rdoomed", Input: in, NumReduce: 3, Reduce: IdentityReduce,
+		FaultInjector: func(kind TaskKind, task, _ int) bool { return kind == ReduceTask && task == 1 },
+	})
 	if err == nil {
 		t.Fatal("permanently failing reduce task must fail the job")
 	}

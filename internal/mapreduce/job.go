@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 
+	"efind/internal/chaos"
 	"efind/internal/dfs"
 	"efind/internal/sim"
 )
@@ -60,10 +61,63 @@ type Job struct {
 	// still be retried, with the node the attempt runs on; the returned
 	// rollback is invoked iff that attempt fails, rewinding node-shared
 	// stage state (per-machine lookup caches) the failed attempt polluted.
-	// The engine only consults it while a FaultInjector is installed, so
-	// fault-free runs pay nothing. The EFind runtime wires this to cache
-	// snapshot/restore so retries do not skew the measured miss ratio R.
+	// The engine only consults it while this job injects faults or chaos,
+	// so fault-free runs pay nothing. The EFind runtime wires this to
+	// cache snapshot/restore so retries do not skew the measured miss
+	// ratio R. Speculative execution uses the same hook to roll back a
+	// backup attempt's cache pollution.
 	AttemptGuard func(node sim.NodeID) (rollback func())
+
+	// FaultInjector, when set, is consulted after each task attempt of
+	// THIS job: returning true fails that attempt after it has consumed
+	// its full duration, and the task is re-executed (MapReduce's
+	// re-execution fault tolerance). Attempts are 1-based; an attempt
+	// that is not failed succeeds. A task whose first maxAttempts
+	// attempts all fail fails the whole job, as Hadoop does once a task
+	// exhausts mapred.map.max.attempts. The injector must be safe for
+	// concurrent calls: the parallel executor consults it from several
+	// goroutines. Being per-job (not per-engine) means concurrent jobs on
+	// one engine cannot race on or leak each other's injectors.
+	FaultInjector func(kind TaskKind, task, attempt int) bool
+
+	// Chaos, when set, subjects this job to the failure-domain schedule:
+	// seeded node crash/recovery windows, injected stragglers with
+	// speculative backup attempts, and virtual-time straggler slowdowns.
+	// (Index partition outages from the same plan are enforced by the
+	// ixclient availability middleware, not the engine.) All chaos is
+	// deterministic in the plan's seed.
+	Chaos *chaos.Plan
+
+	// OnNodeCrash, when set, is invoked once per applied crash event with
+	// the crashed node, after the node's task attempts have been
+	// discarded and before their re-execution is scheduled. The EFind
+	// runtime wires it to drop the node's per-machine lookup caches: a
+	// rebooted TaskTracker restarts cold.
+	OnNodeCrash func(node sim.NodeID)
+}
+
+// failAttempt consults the job's fault injector. The retry loops bound
+// attempts at maxAttempts and fail the job when every attempt failed.
+func (j *Job) failAttempt(kind TaskKind, task, attempt int) bool {
+	return j.FaultInjector != nil && j.FaultInjector(kind, task, attempt)
+}
+
+// chaosSlow returns the chaos-injected duration multiplier for a task.
+func (j *Job) chaosSlow(phaseSeq, task int) float64 {
+	if j.Chaos == nil {
+		return 1
+	}
+	return j.Chaos.SlowFactor(phaseSeq, task)
+}
+
+// downAt returns the node-availability predicate for a phase starting at
+// the given virtual time, or nil when the job has no chaos schedule (the
+// scheduler then admits every node with zero overhead).
+func (j *Job) downAt(t float64) func(sim.NodeID) bool {
+	if j.Chaos == nil {
+		return nil
+	}
+	return func(n sim.NodeID) bool { return j.Chaos.NodeDown(n, t) }
 }
 
 // validate fills defaults and rejects unusable configurations.

@@ -74,10 +74,11 @@ func TestJobDeterministicWithFaultsUnderParallelism(t *testing.T) {
 	run := func(parallelism int) *Result {
 		fs, e := parEnv(t, parallelism)
 		in := makeInput(t, fs, "in", 400)
-		e.FaultInjector = func(kind TaskKind, task, attempt int) bool {
+		j := wordCountJob(in, "wc-fault", false)
+		j.FaultInjector = func(kind TaskKind, task, attempt int) bool {
 			return kind == MapTask && task%4 == 1 && attempt == 1
 		}
-		res, err := e.Run(wordCountJob(in, "wc-fault", false))
+		res, err := e.Run(j)
 		if err != nil {
 			t.Fatal(err)
 		}

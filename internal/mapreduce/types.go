@@ -115,6 +115,7 @@ type TaskContext struct {
 	cluster  *sim.Cluster
 	counters map[string]int64
 	sketches map[string]*sketch.FM
+	base     float64
 	extra    float64
 	traced   bool
 	spans    []obs.Span
@@ -174,6 +175,19 @@ func (c *TaskContext) Abort(err error) { panic(taskAbort{err}) }
 
 // Extra returns the accumulated Charge/ChargeNet time.
 func (c *TaskContext) Extra() float64 { return c.extra }
+
+// Now returns the task's current position on the job's virtual clock:
+// the task's absolute start time (engine clock at phase begin plus the
+// scheduler's start offset) plus the virtual time the task has charged so
+// far. Stages use it to evaluate time-windowed conditions — most notably
+// whether an index partition outage is in effect — and each Charge of
+// backoff time advances it, so an outage can end mid-retry.
+func (c *TaskContext) Now() float64 { return c.base + c.extra }
+
+// SetBase anchors the context clock at an absolute virtual start time.
+// The engine sets it from the scheduler's placement; exported for tests
+// that drive stages outside the engine.
+func (c *TaskContext) SetBase(t float64) { c.base = t }
 
 // EnableSpans turns on span recording for this task. The engine enables
 // it when a trace is attached; with it off, StartSpan is a no-op that

@@ -22,7 +22,7 @@ func buildVariedTasks(n, nodes int) []Task {
 		}
 		tasks[i] = Task{
 			Preferred: pref,
-			Run: func(node NodeID) float64 {
+			Run: func(node NodeID, _ float64) float64 {
 				// Irregular but pure in (task, node).
 				return 0.5 + math.Mod(float64(i)*1.37+float64(node)*0.61, 2.0)
 			},
@@ -76,11 +76,11 @@ func TestParallelPerNodeExecutionOrder(t *testing.T) {
 		tasks := buildVariedTasks(n, cfg.Nodes)
 		for i := range tasks {
 			i, inner := i, tasks[i].Run
-			tasks[i].Run = func(node NodeID) float64 {
+			tasks[i].Run = func(node NodeID, start float64) float64 {
 				// Only this node's executor goroutine appends here, and
 				// SchedulePhase's return orders it before our reads.
 				perNode[node] = append(perNode[node], i)
-				return inner(node)
+				return inner(node, start)
 			}
 		}
 		c.SchedulePhase(tasks, 3)
@@ -105,7 +105,7 @@ func TestParallelRunsEachTaskOnce(t *testing.T) {
 	tasks := make([]Task, n)
 	for i := range tasks {
 		i := i
-		tasks[i] = Task{Run: func(NodeID) float64 {
+		tasks[i] = Task{Run: func(NodeID, float64) float64 {
 			runs[i]++ // distinct index per task; ordered before the phase returns
 			return 1
 		}}

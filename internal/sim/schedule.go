@@ -15,13 +15,16 @@ type Task struct {
 	// index-locality strategy). Empty means no preference.
 	Preferred []NodeID
 	// Run executes the task on the chosen node and returns its virtual
-	// duration in seconds. Run is called exactly once. Under the parallel
-	// executor, Run bodies for different nodes execute concurrently;
-	// bodies for the same node always execute one at a time, in the order
-	// the scheduler placed them, so per-node shared state (the paper's
-	// per-machine lookup caches) sees the same access sequence as the
-	// serial executor.
-	Run func(node NodeID) float64
+	// duration in seconds. start is the task's virtual start time within
+	// the phase, known at placement; task bodies use it to locate
+	// themselves on the job's virtual clock (index outage windows open
+	// and close against that clock). Run is called exactly once. Under
+	// the parallel executor, Run bodies for different nodes execute
+	// concurrently; bodies for the same node always execute one at a
+	// time, in the order the scheduler placed them, so per-node shared
+	// state (the paper's per-machine lookup caches) sees the same access
+	// sequence as the serial executor.
+	Run func(node NodeID, start float64) float64
 }
 
 // Assignment records where and when a task ran.
@@ -156,22 +159,39 @@ func (p *taskPicker) pick(node NodeID) (ti int, local bool) {
 // order, tasks placed on the same node run one at a time in placement
 // order, and results are merged deterministically by task index.
 func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
+	return c.SchedulePhaseAvail(tasks, slotsPerNode, nil)
+}
+
+// SchedulePhaseAvail is SchedulePhase restricted to available nodes: any
+// node for which down returns true contributes no slots, so the greedy
+// picker routes its would-be-local tasks elsewhere. The failure-domain
+// chaos engine uses it to replan placement around crashed nodes. A nil
+// down admits every node; a down that rejects all nodes panics, because
+// a cluster with zero slots can never finish a phase.
+func (c *Cluster) SchedulePhaseAvail(tasks []Task, slotsPerNode int, down func(NodeID) bool) PhaseResult {
 	if slotsPerNode <= 0 {
 		slotsPerNode = 1
 	}
 	if w := c.Workers(); w > 1 && len(tasks) > 1 {
-		return c.schedulePhaseParallel(tasks, slotsPerNode, w)
+		return c.schedulePhaseParallel(tasks, slotsPerNode, w, down)
 	}
-	return c.schedulePhaseSerial(tasks, slotsPerNode)
+	return c.schedulePhaseSerial(tasks, slotsPerNode, down)
 }
 
-// newSlotHeap builds the initial heap with every slot free at time 0.
-func (c *Cluster) newSlotHeap(slotsPerNode int) slotHeap {
+// newSlotHeap builds the initial heap with every available node's slots
+// free at time 0.
+func (c *Cluster) newSlotHeap(slotsPerNode int, down func(NodeID) bool) slotHeap {
 	h := make(slotHeap, 0, c.cfg.Nodes*slotsPerNode)
 	for n := 0; n < c.cfg.Nodes; n++ {
+		if down != nil && down(NodeID(n)) {
+			continue
+		}
 		for s := 0; s < slotsPerNode; s++ {
 			h = append(h, slot{node: NodeID(n), idx: s, free: 0})
 		}
+	}
+	if len(h) == 0 {
+		panic("sim: no nodes available to schedule on (all down)")
 	}
 	heap.Init(&h)
 	return h
@@ -197,14 +217,14 @@ func (r *PhaseResult) sortAssignments() {
 }
 
 // schedulePhaseSerial executes every task body inline in the event loop.
-func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int) PhaseResult {
+func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int, down func(NodeID) bool) PhaseResult {
 	res := PhaseResult{}
 	if len(tasks) == 0 {
 		return res
 	}
 	picker := newTaskPicker(tasks)
-	h := c.newSlotHeap(slotsPerNode)
-	totalSlots := c.cfg.Nodes * slotsPerNode
+	h := c.newSlotHeap(slotsPerNode, down)
+	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
 
@@ -216,7 +236,7 @@ func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int) PhaseResul
 			// because the pending count drives the loop.
 			break
 		}
-		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node)) / c.cfg.SpeedOf(s.node)
+		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node, s.free)) / c.cfg.SpeedOf(s.node)
 		res.record(Assignment{Task: ti, Node: s.node, Slot: s.idx, Start: s.free, Duration: dur, Local: local})
 		heap.Push(&h, slot{node: s.node, idx: s.idx, free: s.free + dur})
 	}

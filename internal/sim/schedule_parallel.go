@@ -44,14 +44,14 @@ type parDone struct {
 // schedulePhaseParallel executes task bodies on up to `workers` goroutines
 // (one semaphore slot per running body), keeping results bit-identical to
 // schedulePhaseSerial.
-func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int) PhaseResult {
+func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int, down func(NodeID) bool) PhaseResult {
 	res := PhaseResult{}
 	if len(tasks) == 0 {
 		return res
 	}
 	picker := newTaskPicker(tasks)
-	h := c.newSlotHeap(slotsPerNode)
-	totalSlots := c.cfg.Nodes * slotsPerNode
+	h := c.newSlotHeap(slotsPerNode, down)
+	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
 
@@ -73,7 +73,7 @@ func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int)
 			go func() {
 				for w := range q {
 					sem <- struct{}{}
-					dur := (c.cfg.TaskStartup + tasks[w.task].Run(node)) / c.cfg.SpeedOf(node)
+					dur := (c.cfg.TaskStartup + tasks[w.task].Run(node, w.start)) / c.cfg.SpeedOf(node)
 					<-sem
 					done <- parDone{node: node, work: w, dur: dur}
 				}

@@ -102,7 +102,7 @@ func TestSchedulePhaseSingleWave(t *testing.T) {
 
 	tasks := make([]Task, 8)
 	for i := range tasks {
-		tasks[i] = Task{Run: func(NodeID) float64 { return 10 }}
+		tasks[i] = Task{Run: func(NodeID, float64) float64 { return 10 }}
 	}
 	res := c.SchedulePhase(tasks, cfg.MapSlotsPerNode)
 	if res.Waves != 1 {
@@ -122,7 +122,7 @@ func TestSchedulePhaseTwoWaves(t *testing.T) {
 
 	tasks := make([]Task, 8)
 	for i := range tasks {
-		tasks[i] = Task{Run: func(NodeID) float64 { return 5 }}
+		tasks[i] = Task{Run: func(NodeID, float64) float64 { return 5 }}
 	}
 	res := c.SchedulePhase(tasks, cfg.MapSlotsPerNode)
 	if res.Waves != 2 {
@@ -146,7 +146,7 @@ func TestSchedulePhasePrefersLocality(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = Task{
 			Preferred: []NodeID{NodeID(i)},
-			Run:       func(NodeID) float64 { return 1 },
+			Run:       func(NodeID, float64) float64 { return 1 },
 		}
 	}
 	res := c.SchedulePhase(tasks, 1)
@@ -168,9 +168,9 @@ func TestSchedulePhasePlacementPassedToRun(t *testing.T) {
 
 	got := make([]NodeID, 0, 3)
 	tasks := []Task{
-		{Run: func(n NodeID) float64 { got = append(got, n); return 1 }},
-		{Run: func(n NodeID) float64 { got = append(got, n); return 1 }},
-		{Run: func(n NodeID) float64 { got = append(got, n); return 1 }},
+		{Run: func(n NodeID, _ float64) float64 { got = append(got, n); return 1 }},
+		{Run: func(n NodeID, _ float64) float64 { got = append(got, n); return 1 }},
+		{Run: func(n NodeID, _ float64) float64 { got = append(got, n); return 1 }},
 	}
 	res := c.SchedulePhase(tasks, 1)
 	if len(res.Assignments) != 3 || len(got) != 3 {
@@ -192,7 +192,7 @@ func TestSchedulePhaseStartupCharged(t *testing.T) {
 	cfg.MapSlotsPerNode = 1
 	cfg.TaskStartup = 2.5
 	c := NewCluster(cfg)
-	res := c.SchedulePhase([]Task{{Run: func(NodeID) float64 { return 1 }}}, 1)
+	res := c.SchedulePhase([]Task{{Run: func(NodeID, float64) float64 { return 1 }}}, 1)
 	if math.Abs(res.Makespan-3.5) > 1e-9 {
 		t.Fatalf("startup not charged: makespan %g, want 3.5", res.Makespan)
 	}
@@ -233,7 +233,7 @@ func TestStragglerStretchesMakespan(t *testing.T) {
 		c := NewCluster(cfg)
 		tasks := make([]Task, 4)
 		for i := range tasks {
-			tasks[i] = Task{Run: func(NodeID) float64 { return 10 }}
+			tasks[i] = Task{Run: func(NodeID, float64) float64 { return 10 }}
 		}
 		return c.SchedulePhase(tasks, 1).Makespan
 	}
@@ -257,7 +257,7 @@ func TestFirstWave(t *testing.T) {
 	c := NewCluster(cfg)
 	tasks := make([]Task, 5)
 	for i := range tasks {
-		tasks[i] = Task{Run: func(NodeID) float64 { return 1 }}
+		tasks[i] = Task{Run: func(NodeID, float64) float64 { return 1 }}
 	}
 	res := c.SchedulePhase(tasks, 1)
 	fw := res.FirstWave(2)
@@ -286,7 +286,7 @@ func TestSchedulePhaseProperties(t *testing.T) {
 				maxDur = dur
 			}
 			sum += dur
-			tasks[i] = Task{Run: func(NodeID) float64 { return dur }}
+			tasks[i] = Task{Run: func(NodeID, float64) float64 { return dur }}
 		}
 		res := c.SchedulePhase(tasks, cfg.MapSlotsPerNode)
 		if len(res.Assignments) != len(tasks) {
@@ -304,4 +304,45 @@ func TestSchedulePhaseProperties(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestSchedulePhaseAvailExcludesDownNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MapSlotsPerNode = 1
+	cfg.TaskStartup = 0
+	c := NewCluster(cfg)
+
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			Preferred: []NodeID{NodeID(i)},
+			Run:       func(NodeID, float64) float64 { return 10 },
+		}
+	}
+	down := func(n NodeID) bool { return n == 2 }
+	res := c.SchedulePhaseAvail(tasks, 1, down)
+	if len(res.Assignments) != 4 {
+		t.Fatalf("want 4 assignments, got %d", len(res.Assignments))
+	}
+	for _, a := range res.Assignments {
+		if a.Node == 2 {
+			t.Fatalf("task %d placed on down node 2", a.Task)
+		}
+	}
+	// 4 tasks on 3 surviving single-slot nodes: two waves.
+	if res.Waves != 2 {
+		t.Fatalf("want 2 waves on 3 surviving slots, got %d", res.Waves)
+	}
+	if math.Abs(res.Makespan-20) > 1e-9 {
+		t.Fatalf("makespan = %g, want 20", res.Makespan)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling with every node down must panic")
+		}
+	}()
+	c.SchedulePhaseAvail(tasks, 1, func(NodeID) bool { return true })
 }
