@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"efind/internal/obs"
+)
+
+// TestScaleSweepShape runs a miniature sweep end to end: every leg must
+// succeed (including the serial/parallel identity check and the
+// chaos-output check inside), and the gauges must follow the gating
+// conventions — wall-clock ".tps"/".allocs" only at the largest node
+// count, deterministic ".vms" makespans at every count.
+func TestScaleSweepShape(t *testing.T) {
+	tr := obs.NewTrace()
+	SetTrace(tr)
+	defer SetTrace(nil)
+
+	s := QuickScale()
+	s.SweepNodes = []int{50, 200}
+	s.SweepTasks = 4000
+	s.SweepEngineTasks = 800
+	tbl, err := ScaleSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+	if v, ok := tbl.Cell("200 nodes", "tasks"); !ok || v != 4000 {
+		t.Fatalf("largest row tasks = %v (ok=%v), want 4000", v, ok)
+	}
+
+	gauges := map[string]float64{}
+	for _, g := range tr.Metrics.Gauges() {
+		gauges[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"sweep.n50.makespan.vms",
+		"sweep.n200.makespan.vms",
+		"sweep.n200.sched.tps",
+		"sweep.n200.sched.allocs",
+		"sweep.n200.engine.tps",
+		"sweep.n200.chaos.tps",
+		"sweep.n50.sched.tasks_per_sec",
+	} {
+		if gauges[name] <= 0 {
+			t.Errorf("gauge %q missing or non-positive: %v", name, gauges[name])
+		}
+	}
+	for _, name := range []string{"sweep.n50.sched.tps", "sweep.n50.sched.allocs", "sweep.n50.chaos.tps"} {
+		if _, ok := gauges[name]; ok {
+			t.Errorf("gauge %q present: small rows must not emit gated wall-clock gauges", name)
+		}
+	}
+}
+
+// TestScaleSweepRejectsEmptyConfig pins the configuration guard.
+func TestScaleSweepRejectsEmptyConfig(t *testing.T) {
+	if _, err := ScaleSweep(Scale{}); err == nil {
+		t.Fatal("ScaleSweep with no node counts must error")
+	}
+}

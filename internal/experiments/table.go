@@ -99,6 +99,13 @@ type Scale struct {
 	SpatialA          int
 	SpatialB          int
 	KNNK              int
+	// Scale-sweep sizes: node counts to sweep, raw-scheduler tasks at the
+	// largest node count (smaller counts scale down proportionally), and
+	// engine-job tasks likewise (engine tasks run real record pipelines,
+	// so they are fewer).
+	SweepNodes       []int
+	SweepTasks       int
+	SweepEngineTasks int
 }
 
 // QuickScale is used by tests and benchmarks.
@@ -114,6 +121,9 @@ func QuickScale() Scale {
 		SpatialA:          1500,
 		SpatialB:          6000,
 		KNNK:              10,
+		SweepNodes:        []int{100, 1000, 10000},
+		SweepTasks:        100_000,
+		SweepEngineTasks:  20_000,
 	}
 }
 
@@ -130,5 +140,8 @@ func FullScale() Scale {
 		SpatialA:          6000,
 		SpatialB:          20000,
 		KNNK:              10,
+		SweepNodes:        []int{100, 1000, 10000},
+		SweepTasks:        1_000_000,
+		SweepEngineTasks:  100_000,
 	}
 }

@@ -34,15 +34,44 @@ import (
 //     because the model treats map outputs as fetched when the reduce
 //     phase starts (an "eager shuffle" — see DESIGN.md for the
 //     deviation from Hadoop's pull shuffle).
+//
+// At cluster scale the rewriting itself must stay cheap: the straggler
+// yardstick is a quickselect median (O(n), not a full sort), backup
+// placement reuses incrementally maintained per-node drain times instead
+// of rescanning the phase per straggler, and refreshPhase repairs the
+// (start, task) ordering by merging only the rewritten assignments back
+// into the still-sorted remainder — O(n + k log k) for k rewrites, and
+// a no-op when the schedule came through chaos untouched.
+
+// phasePatch tracks which assignment positions chaos rewrote, plus the
+// scheduling waves recovery added, so refreshPhase can repair aggregates
+// and ordering incrementally.
+type phasePatch struct {
+	dirty []bool
+	n     int
+	waves int
+}
+
+func newPhasePatch(assignments int) *phasePatch {
+	return &phasePatch{dirty: make([]bool, assignments)}
+}
+
+func (p *phasePatch) mark(i int) {
+	if !p.dirty[i] {
+		p.dirty[i] = true
+		p.n++
+	}
+}
 
 // applyMapChaos rewrites a finished map phase per the job's chaos plan.
 func (e *Engine) applyMapChaos(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
 	if job.Chaos == nil || firstError(taskErrs) != nil {
 		return
 	}
-	e.speculateMap(job, base, res, splits)
-	e.crashMap(job, base, res, splits, taskErrs)
-	refreshPhase(&res.Phase)
+	patch := newPhasePatch(len(res.Phase.Assignments))
+	e.speculateMap(job, base, res, splits, patch)
+	e.crashMap(job, base, res, splits, taskErrs, patch)
+	refreshPhase(&res.Phase, patch)
 }
 
 // applyReduceChaos is applyMapChaos's reduce-side twin.
@@ -50,46 +79,139 @@ func (e *Engine) applyReduceChaos(job *Job, base float64, sub *ReduceSubsetResul
 	if job.Chaos == nil || firstError(taskErrs) != nil {
 		return
 	}
-	e.speculateReduce(job, base, sub, outputs)
-	e.crashReduce(job, base, sub, outputs, taskErrs)
-	refreshPhase(&sub.Phase)
+	patch := newPhasePatch(len(sub.Phase.Assignments))
+	e.speculateReduce(job, base, sub, outputs, patch)
+	e.crashReduce(job, base, sub, outputs, taskErrs, patch)
+	refreshPhase(&sub.Phase, patch)
 }
 
 // medianDuration returns the median assignment duration of a phase — the
-// progress yardstick speculation measures stragglers against.
+// progress yardstick speculation measures stragglers against — or 0 for
+// an empty phase (reachable when a crash discarded every assignment
+// before the speculation scan; callers treat a non-positive median as
+// "nothing to speculate against").
 func medianDuration(assigns []sim.Assignment) float64 {
+	if len(assigns) == 0 {
+		return 0
+	}
 	durs := make([]float64, len(assigns))
 	for i, a := range assigns {
 		durs[i] = a.Duration
 	}
-	sort.Float64s(durs)
-	return durs[len(durs)/2]
+	return quickselect(durs, len(durs)/2)
 }
 
-// backupNode picks the surviving node a backup attempt launches on: the
-// node (other than the straggler's own, and not down at absAt) whose
-// busiest lane drains first, ties broken by node ID. Returns -1 when no
-// node qualifies. The returned free time is phase-relative, like
-// assignment starts.
-func (e *Engine) backupNode(assigns []sim.Assignment, exclude sim.NodeID, job *Job, absAt float64) (sim.NodeID, float64) {
-	free := make([]float64, e.Cluster.Nodes())
-	for _, a := range assigns {
-		if end := a.Start + a.Duration; end > free[a.Node] {
-			free[a.Node] = end
+// quickselect returns the k-th smallest element (0-based) of durs in
+// expected O(n), mutating durs. The pivot is a deterministic
+// median-of-three, so equal inputs always take equal paths — no seeded
+// randomness that could diverge between runs.
+func quickselect(durs []float64, k int) float64 {
+	lo, hi := 0, len(durs)-1
+	for lo < hi {
+		// Insertion sort finishes small ranges faster than partitioning.
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && durs[j] < durs[j-1]; j-- {
+					durs[j], durs[j-1] = durs[j-1], durs[j]
+				}
+			}
+			return durs[k]
+		}
+		mid := lo + (hi-lo)/2
+		// Median-of-three into durs[mid], the pivot.
+		if durs[mid] < durs[lo] {
+			durs[mid], durs[lo] = durs[lo], durs[mid]
+		}
+		if durs[hi] < durs[mid] {
+			durs[hi], durs[mid] = durs[mid], durs[hi]
+			if durs[mid] < durs[lo] {
+				durs[mid], durs[lo] = durs[lo], durs[mid]
+			}
+		}
+		pivot := durs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for durs[i] < pivot {
+				i++
+			}
+			for durs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				durs[i], durs[j] = durs[j], durs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return durs[k]
 		}
 	}
+	return durs[k]
+}
+
+// backupPlanner picks the surviving nodes speculation launches backups
+// on. It maintains each node's drain time (the end of its busiest lane)
+// incrementally: built once in O(assignments), updated per committed
+// backup, so a phase with many stragglers no longer rescans the whole
+// assignment list per candidate.
+type backupPlanner struct {
+	nodes int
+	free  []float64
+}
+
+func newBackupPlanner(nodes int, assigns []sim.Assignment) *backupPlanner {
+	bp := &backupPlanner{nodes: nodes, free: make([]float64, nodes)}
+	for _, a := range assigns {
+		if end := a.Start + a.Duration; end > bp.free[a.Node] {
+			bp.free[a.Node] = end
+		}
+	}
+	return bp
+}
+
+// pick returns the node (other than the straggler's own, and not down at
+// absAt) whose busiest lane drains first, ties broken by node ID, or -1
+// when no node qualifies. The returned free time is phase-relative, like
+// assignment starts.
+func (bp *backupPlanner) pick(exclude sim.NodeID, job *Job, absAt float64) (sim.NodeID, float64) {
 	best := sim.NodeID(-1)
 	bestFree := 0.0
-	for n := 0; n < e.Cluster.Nodes(); n++ {
+	for n := 0; n < bp.nodes; n++ {
 		id := sim.NodeID(n)
 		if id == exclude || job.Chaos.NodeDown(id, absAt) {
 			continue
 		}
-		if best < 0 || free[n] < bestFree {
-			best, bestFree = id, free[n]
+		if best < 0 || bp.free[n] < bestFree {
+			best, bestFree = id, bp.free[n]
 		}
 	}
 	return best, bestFree
+}
+
+// commit folds a won backup into the drain times: the backup's end
+// extends its node, and the straggler's old node is recomputed because
+// the discarded attempt may have been its busiest lane. assigns already
+// reflects the rewritten placement.
+func (bp *backupPlanner) commit(oldNode sim.NodeID, assigns []sim.Assignment, node sim.NodeID, end float64) {
+	if end > bp.free[node] {
+		bp.free[node] = end
+	}
+	drain := 0.0
+	for _, a := range assigns {
+		if a.Node != oldNode {
+			continue
+		}
+		if e := a.Start + a.Duration; e > drain {
+			drain = e
+		}
+	}
+	bp.free[oldNode] = drain
 }
 
 // commitBackup resolves one speculation race. The winner keeps the
@@ -129,7 +251,7 @@ func (e *Engine) specInstant(name string, task int, won bool) {
 }
 
 // speculateMap launches backup attempts for map stragglers.
-func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, splits []int) {
+func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, splits []int, patch *phasePatch) {
 	spec := job.Chaos.Spec()
 	if !spec.Enabled || len(res.Phase.Assignments) < 2 {
 		return
@@ -140,6 +262,7 @@ func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, split
 	}
 	launched := 0
 	cfg := e.Cluster.Config()
+	bp := newBackupPlanner(e.Cluster.Nodes(), res.Phase.Assignments)
 	for ai := range res.Phase.Assignments {
 		a := &res.Phase.Assignments[ai]
 		if a.Duration <= spec.Threshold*med {
@@ -153,7 +276,7 @@ func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, split
 		s := splits[i]
 		chunk := job.Input.Chunks[s]
 		detect := a.Start + spec.Threshold*med
-		node, freeAt := e.backupNode(res.Phase.Assignments, a.Node, job, base+detect)
+		node, freeAt := bp.pick(a.Node, job, base+detect)
 		if node < 0 {
 			continue
 		}
@@ -183,16 +306,19 @@ func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, split
 		if job.MapPlacement != nil {
 			preferred = job.MapPlacement(s, chunk)
 		}
+		oldNode := a.Node
 		won := commitBackup(a, &res.Stats[i], node, start, dur, st, sim.ContainsNode(preferred, node))
 		if won {
 			res.Outputs[i] = out // identical records; Node now names the winner
+			bp.commit(oldNode, res.Phase.Assignments, node, start+dur)
+			patch.mark(ai)
 		}
 		e.specInstant(job.Name+"/map", i, won)
 	}
 }
 
 // speculateReduce launches backup attempts for reduce stragglers.
-func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput) {
+func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, patch *phasePatch) {
 	spec := job.Chaos.Spec()
 	if !spec.Enabled || len(sub.Phase.Assignments) < 2 {
 		return
@@ -203,6 +329,7 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 	}
 	launched := 0
 	cfg := e.Cluster.Config()
+	bp := newBackupPlanner(e.Cluster.Nodes(), sub.Phase.Assignments)
 	for ai := range sub.Phase.Assignments {
 		a := &sub.Phase.Assignments[ai]
 		if a.Duration <= spec.Threshold*med {
@@ -215,7 +342,7 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 		i := a.Task
 		r := sub.Reducers[i]
 		detect := a.Start + spec.Threshold*med
-		node, freeAt := e.backupNode(sub.Phase.Assignments, a.Node, job, base+detect)
+		node, freeAt := bp.pick(a.Node, job, base+detect)
 		if node < 0 {
 			continue
 		}
@@ -238,10 +365,13 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 			continue
 		}
 		dur := (cfg.TaskStartup + st.Duration) / cfg.SpeedOf(node)
+		oldNode := a.Node
 		won := commitBackup(a, &sub.Stats[i], node, start, dur, st, false)
 		if won {
 			sub.Shards[i] = shard
 			sub.Homes[i] = node
+			bp.commit(oldNode, sub.Phase.Assignments, node, start+dur)
+			patch.mark(ai)
 		}
 		e.specInstant(job.Name+"/reduce", r, won)
 	}
@@ -251,7 +381,7 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 // window: for each crash, every assignment the dead node holds is
 // discarded and re-executed as a recovery wave on the surviving nodes,
 // starting at the crash instant.
-func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
+func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error, patch *phasePatch) {
 	for _, cr := range job.Chaos.CrashesIn(base, base+res.Phase.Makespan) {
 		res.Counters[chaos.CtrNodeCrashes]++
 		if e.Trace != nil {
@@ -273,7 +403,7 @@ func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []
 			origTask[j] = i
 			s := splits[i]
 			chunk := job.Input.Chunks[s]
-			preferred := append([]sim.NodeID(nil), chunk.Replicas...)
+			preferred := chunk.Replicas
 			if job.MapPlacement != nil {
 				preferred = job.MapPlacement(s, chunk)
 			}
@@ -285,7 +415,8 @@ func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []
 		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().MapSlotsPerNode, func(n sim.NodeID) bool {
 			return job.Chaos.NodeDown(n, cr.At)
 		})
-		spliceRecovery(res.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base)
+		spliceRecovery(res.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base, patch)
+		patch.waves += rec.Waves
 		for _, i := range origTask {
 			if res.Stats[i].Counters != nil {
 				res.Stats[i].Counters[chaos.CtrTasksLost]++
@@ -296,7 +427,7 @@ func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []
 
 // crashReduce is crashMap's reduce-side twin. Map outputs survive
 // (eager shuffle); only the dead node's reduce tasks re-run.
-func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error) {
+func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error, patch *phasePatch) {
 	for _, cr := range job.Chaos.CrashesIn(base, base+sub.Phase.Makespan) {
 		sub.Counters[chaos.CtrNodeCrashes]++
 		if e.Trace != nil {
@@ -323,7 +454,8 @@ func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, ou
 		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().ReduceSlotsPerNode, func(n sim.NodeID) bool {
 			return job.Chaos.NodeDown(n, cr.At)
 		})
-		spliceRecovery(sub.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base)
+		spliceRecovery(sub.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base, patch)
+		patch.waves += rec.Waves
 		for _, i := range origTask {
 			if sub.Stats[i].Counters != nil {
 				sub.Stats[i].Counters[chaos.CtrTasksLost]++
@@ -346,8 +478,8 @@ func assignmentsOn(assigns []sim.Assignment, node sim.NodeID) []int {
 
 // spliceRecovery replaces the lost assignments with their recovery
 // placements, shifting recovery starts by the crash offset so all starts
-// stay phase-relative.
-func spliceRecovery(assigns []sim.Assignment, lost, origTask []int, rec []sim.Assignment, offset float64) {
+// stay phase-relative, and marks the rewritten positions dirty.
+func spliceRecovery(assigns []sim.Assignment, lost, origTask []int, rec []sim.Assignment, offset float64, patch *phasePatch) {
 	for _, ra := range rec {
 		ai := lost[ra.Task]
 		assigns[ai] = sim.Assignment{
@@ -358,13 +490,24 @@ func spliceRecovery(assigns []sim.Assignment, lost, origTask []int, rec []sim.As
 			Duration: ra.Duration,
 			Local:    ra.Local,
 		}
+		patch.mark(ai)
 	}
 }
 
-// refreshPhase recomputes a phase's aggregates after chaos rewrote its
-// assignments, and restores the (start, task) ordering the trace
-// exporter relies on.
-func refreshPhase(p *sim.PhaseResult) {
+// refreshPhase repairs a phase's aggregates and ordering after chaos
+// rewrote some of its assignments. All three aggregates are recomputed —
+// Makespan, LocalTasks, and Waves (the scheduler's waves plus the
+// recovery waves chaos spliced in) — so the adaptive optimizer and job
+// profiles never see pre-crash wave/locality statistics. Ordering is
+// restored incrementally: the untouched assignments are still in
+// (start, task) order, so only the k rewritten ones are sorted and
+// merged back — O(n + k log k) instead of a full re-sort, and a pure
+// no-op when chaos left the schedule untouched.
+func refreshPhase(p *sim.PhaseResult, patch *phasePatch) {
+	p.Waves += patch.waves
+	if patch.n == 0 {
+		return
+	}
 	p.Makespan = 0
 	p.LocalTasks = 0
 	for _, a := range p.Assignments {
@@ -375,10 +518,37 @@ func refreshPhase(p *sim.PhaseResult) {
 			p.LocalTasks++
 		}
 	}
-	sort.Slice(p.Assignments, func(i, j int) bool {
-		if p.Assignments[i].Start != p.Assignments[j].Start {
-			return p.Assignments[i].Start < p.Assignments[j].Start
+
+	// Partition into the still-sorted clean subsequence and the rewritten
+	// entries, sort the rewritten ones, and merge.
+	clean := make([]sim.Assignment, 0, len(p.Assignments)-patch.n)
+	dirty := make([]sim.Assignment, 0, patch.n)
+	for ai, a := range p.Assignments {
+		if patch.dirty[ai] {
+			dirty = append(dirty, a)
+		} else {
+			clean = append(clean, a)
 		}
-		return p.Assignments[i].Task < p.Assignments[j].Task
-	})
+	}
+	less := func(a, b sim.Assignment) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Task < b.Task
+	}
+	sort.Slice(dirty, func(i, j int) bool { return less(dirty[i], dirty[j]) })
+	ci, di := 0, 0
+	for out := 0; out < len(p.Assignments); out++ {
+		switch {
+		case ci >= len(clean):
+			p.Assignments[out] = dirty[di]
+			di++
+		case di >= len(dirty) || less(clean[ci], dirty[di]):
+			p.Assignments[out] = clean[ci]
+			ci++
+		default:
+			p.Assignments[out] = dirty[di]
+			di++
+		}
+	}
 }

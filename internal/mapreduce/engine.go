@@ -166,7 +166,10 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 	for i, s := range splits {
 		i, s := i, s
 		chunk := job.Input.Chunks[s]
-		preferred := append([]sim.NodeID(nil), chunk.Replicas...)
+		// The scheduler only reads Preferred, so the replica list is shared
+		// rather than copied — a 1M-split phase would otherwise allocate a
+		// slice per task before scheduling even starts.
+		preferred := chunk.Replicas
 		if job.MapPlacement != nil {
 			preferred = job.MapPlacement(s, chunk)
 		}
@@ -304,6 +307,12 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 		numBuckets = job.NumReduce
 	}
 	out := &MapOutput{Split: split, Node: node, Buckets: make([][]Pair, numBuckets)}
+	if numBuckets == 1 {
+		// Map-only jobs (and single-reducer jobs) funnel every record into
+		// one bucket; size it once instead of growing through the append
+		// doubling ladder on each task.
+		out.Buckets[0] = make([]Pair, 0, len(chunk.Records))
+	}
 	outRecords := 0
 	sink := func(p Pair) {
 		b := 0
@@ -581,7 +590,7 @@ func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []Tas
 		}
 		t.AddSpan(obs.Span{
 			Name: taskName, Cat: kind,
-			Node: int(a.Node), Slot: a.Slot,
+			Node: int(a.Node), Slot: int(a.Slot),
 			Start: base + a.Start, Dur: a.Duration,
 		})
 		// The final successful attempt occupies the tail of the
@@ -591,7 +600,7 @@ func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []Tas
 		for _, s := range st.Spans {
 			t.AddSpan(obs.Span{
 				Name: s.Name, Cat: s.Cat,
-				Node: int(a.Node), Slot: a.Slot,
+				Node: int(a.Node), Slot: int(a.Slot),
 				Start: base + bodyStart + s.Start/speed, Dur: s.Dur / speed,
 			})
 		}

@@ -1,0 +1,77 @@
+package mapreduce
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// partitionGolden pins HashPartition outputs to fixed values computed
+// with hash/fnv before the loop was inlined; any change to the hash
+// function shows up here as a changed reducer assignment.
+var partitionGolden = []struct {
+	key       string
+	numReduce int
+	want      int
+}{
+	{"", 4, 1},
+	{"a", 4, 0},
+	{"the", 4, 0},
+	{"wordcount", 4, 0},
+	{"efind", 8, 3},
+	{"index-access", 8, 4},
+	{"☃ unicode", 8, 7},
+	{"k\x00with\x00nuls", 16, 14},
+	{"a-rather-longer-key-as-emitted-by-a-real-map-function", 16, 14},
+	{"singleton", 1, 0},
+	{"degenerate", 0, 0},
+	{"negative", -3, 0},
+}
+
+func TestHashPartitionGolden(t *testing.T) {
+	for _, g := range partitionGolden {
+		if got := HashPartition(g.key, g.numReduce); got != g.want {
+			t.Errorf("HashPartition(%q, %d) = %d, want %d", g.key, g.numReduce, got, g.want)
+		}
+	}
+}
+
+// TestHashPartitionMatchesFnv cross-checks the inlined FNV-1a loop
+// against hash/fnv over a spread of generated keys: identical hash
+// values, hence identical partitions, for every reducer count.
+func TestHashPartitionMatchesFnv(t *testing.T) {
+	keys := []string{"", "x"}
+	for i := 0; i < 200; i++ {
+		x := uint32(i)*2654435761 + 97
+		b := make([]byte, i%23)
+		for j := range b {
+			b[j] = byte(x >> (uint(j) % 24))
+		}
+		keys = append(keys, string(b))
+	}
+	for _, key := range keys {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		ref := h.Sum32()
+		for _, nr := range []int{2, 3, 7, 32, 1000} {
+			want := int(ref % uint32(nr))
+			if got := HashPartition(key, nr); got != want {
+				t.Fatalf("HashPartition(%q, %d) = %d, want %d (fnv %d)", key, nr, got, want, ref)
+			}
+		}
+	}
+}
+
+// BenchmarkHashPartition pins the partitioner's allocation behavior: the
+// inlined loop must not allocate (the hash/fnv version allocated a
+// hasher and a []byte copy per record).
+func BenchmarkHashPartition(b *testing.B) {
+	keys := []string{"the", "quick", "brown", "fox", "jumps", "over", "a-rather-longer-key-as-emitted-by-a-real-map-function"}
+	b.ReportAllocs()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += HashPartition(keys[i%len(keys)], 64)
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}

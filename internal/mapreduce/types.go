@@ -8,8 +8,6 @@
 package mapreduce
 
 import (
-	"hash/fnv"
-
 	"efind/internal/obs"
 	"efind/internal/sim"
 	"efind/internal/sketch"
@@ -252,15 +250,28 @@ type TaskStats struct {
 	Spans []obs.Span
 }
 
+// FNV-1a parameters, per hash/fnv.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // HashPartition is the default partitioner (FNV-1a modulo reducers),
-// mirroring Hadoop's HashPartitioner.
+// mirroring Hadoop's HashPartitioner. The FNV-1a loop is inlined over
+// the string: hash/fnv would cost a hasher allocation plus a []byte(key)
+// copy per record, and the partitioner runs once per map-output record.
+// Values are identical to fnv.New32a over the same bytes (pinned by a
+// golden test).
 func HashPartition(key string, numReduce int) int {
 	if numReduce <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(numReduce))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(numReduce))
 }
 
 // Built-in counter names maintained by the engine itself.

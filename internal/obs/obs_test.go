@@ -195,6 +195,56 @@ func TestProfileRoundTripAndCompare(t *testing.T) {
 	}
 }
 
+// TestCompareProfilesGaugeDirections pins the suffix conventions the
+// gate understands: ".vms" and ".allocs" must not rise, ".tps" must not
+// fall, anything else is descriptive and ungated.
+func TestCompareProfilesGaugeDirections(t *testing.T) {
+	base := &Profile{
+		Label: "baseline",
+		Gauges: []Gauge{
+			{Name: "sweep.n10000.sched.tps", Value: 500_000},
+			{Name: "sweep.n10000.engine.tps", Value: 90_000},
+			{Name: "sweep.n10000.sched.allocs", Value: 4.0},
+			{Name: "sweep.n10000.makespan.vms", Value: 120},
+			{Name: "sweep.n10000.tasks", Value: 100_000}, // descriptive
+		},
+	}
+	cur := &Profile{
+		Label: "current",
+		Gauges: []Gauge{
+			{Name: "sweep.n10000.sched.tps", Value: 300_000}, // -40%: regression
+			{Name: "sweep.n10000.engine.tps", Value: 87_000}, // -3.3%: inside budget
+			{Name: "sweep.n10000.sched.allocs", Value: 9.0},  // +125%: regression
+			{Name: "sweep.n10000.makespan.vms", Value: 121},  // +0.8%: inside budget
+			{Name: "sweep.n10000.tasks", Value: 50_000},      // halved, but ungated
+		},
+	}
+	regs := CompareProfiles(base, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (tps drop, allocs rise):\n%s", len(regs), strings.Join(regs, "\n"))
+	}
+	joined := strings.Join(regs, "\n")
+	for _, want := range []string{"sched.tps", "sched.allocs"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("regressions missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "engine.tps") || strings.Contains(joined, "makespan.vms") || strings.Contains(joined, "tasks\"") {
+		t.Fatalf("false positive in:\n%s", joined)
+	}
+
+	// Throughput gains and alloc drops never fail the gate.
+	if regs := CompareProfiles(cur, base, 0.10); len(regs) != 0 {
+		t.Fatalf("improvements flagged as regressions: %v", regs)
+	}
+
+	// A throughput gauge that disappears is a regression, not a pass.
+	missing := &Profile{Label: "missing", Gauges: []Gauge{{Name: "sweep.n10000.tasks", Value: 1}}}
+	if regs := CompareProfiles(base, missing, 0.10); len(regs) != 4 {
+		t.Fatalf("got %d regressions for missing gated gauges, want 4: %v", len(regs), regs)
+	}
+}
+
 func TestReadProfileRejectsGarbage(t *testing.T) {
 	path := t.TempDir() + "/garbage.json"
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

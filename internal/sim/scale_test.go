@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// scaleCluster builds a cluster with mixed node speeds at the given size.
+func scaleCluster(nodes, parallelism int) *Cluster {
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Parallelism = parallelism
+	speeds := make([]float64, nodes)
+	for i := range speeds {
+		speeds[i] = []float64{1, 1, 0.5, 2}[i%4]
+	}
+	cfg.NodeSpeed = speeds
+	return NewCluster(cfg)
+}
+
+// TestScaleSerialParallelBitIdentical extends the determinism suite to
+// cluster scale: a 10k-node / 100k-task phase must finish inside a CI
+// wall-clock budget — in short mode too; this is exactly the regression
+// the scale-up guards — and the parallel executor's schedule must stay
+// bit-identical to the serial one.
+func TestScaleSerialParallelBitIdentical(t *testing.T) {
+	const (
+		nodes  = 10_000
+		nTasks = 100_000
+		slots  = 2
+		budget = 60 * time.Second // generous for slow shared CI runners
+	)
+	start := time.Now()
+	serial := scaleCluster(nodes, 1).SchedulePhase(buildVariedTasks(nTasks, nodes), slots)
+	par := scaleCluster(nodes, 8).SchedulePhase(buildVariedTasks(nTasks, nodes), slots)
+	elapsed := time.Since(start)
+
+	if len(serial.Assignments) != nTasks {
+		t.Fatalf("serial scheduled %d assignments, want %d", len(serial.Assignments), nTasks)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("10k-node schedule diverged: serial makespan %g waves %d locals %d vs parallel makespan %g waves %d locals %d",
+			serial.Makespan, serial.Waves, serial.LocalTasks, par.Makespan, par.Waves, par.LocalTasks)
+	}
+	if elapsed > budget {
+		t.Fatalf("10k-node/100k-task serial+parallel phases took %v, budget %v", elapsed, budget)
+	}
+	t.Logf("10k nodes / 100k tasks ×2 executors in %v (%.0f tasks/sec combined)", elapsed, float64(2*nTasks)/elapsed.Seconds())
+}
+
+// buildReplicatedTasks is the taskPicker's worst case: every task lists
+// the same few nodes as preferred (heavily replicated hot chunks), so a
+// task picked via one hot node's queue leaves dead entries in the other
+// hot queues. Without skip-compaction each pick on a hot node re-crawls
+// an ever-longer dead prefix, turning the phase quadratic.
+func buildReplicatedTasks(n, nodes int) []Task {
+	hot := []NodeID{0, 1, 2}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			Preferred: hot,
+			Run:       func(NodeID, float64) float64 { return 1 },
+		}
+	}
+	_ = nodes
+	return tasks
+}
+
+// TestPickerCompactsDeadEntries pins the skip-compaction: after a phase
+// where every task preferred the same nodes, the hot queues must not
+// retain dead prefixes proportional to the task count.
+func TestPickerCompactsDeadEntries(t *testing.T) {
+	const n, nodes = 10_000, 100
+	p := newTaskPicker(buildReplicatedTasks(n, nodes), nodes)
+	// Drain round-robin across all nodes, like slots freeing cluster-wide;
+	// the hot queues go stale as other nodes steal their tasks.
+	for left := n; left > 0; {
+		for node := 0; node < nodes && left > 0; node++ {
+			if ti, _ := p.pick(NodeID(node)); ti >= 0 {
+				left--
+			}
+		}
+	}
+	for _, node := range []NodeID{0, 1, 2} {
+		if retained := len(p.byNode[node]) - p.head[node]; retained > 2*compactThreshold {
+			t.Fatalf("node %d queue retains %d entries after drain (head %d, len %d); compaction is not kicking in",
+				node, retained, p.head[node], len(p.byNode[node]))
+		}
+	}
+}
+
+// BenchmarkPickerReplicatedWorstCase schedules a phase whose every task
+// prefers the same three nodes — the dead-entry crawl that motivated
+// skip-compaction. ns/op here is the whole phase.
+func BenchmarkPickerReplicatedWorstCase(b *testing.B) {
+	const nTasks, nodes = 50_000, 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := scaleCluster(nodes, 1)
+		c.SchedulePhase(buildReplicatedTasks(nTasks, nodes), 2)
+	}
+}
+
+// BenchmarkSchedulePhaseSerial10k is the headline scheduler-throughput
+// benchmark at cluster scale: 10k nodes, 100k varied tasks, serial
+// executor. tasks/sec ≈ 100k / (ns_per_op × 1e-9).
+func BenchmarkSchedulePhaseSerial10k(b *testing.B) {
+	const nTasks, nodes = 100_000, 10_000
+	tasks := buildVariedTasks(nTasks, nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := scaleCluster(nodes, 1)
+		c.SchedulePhase(tasks, 2)
+	}
+}
+
+// BenchmarkSchedulePhaseParallel10k is the same phase under the parallel
+// executor, measuring coordination overhead at scale.
+func BenchmarkSchedulePhaseParallel10k(b *testing.B) {
+	const nTasks, nodes = 100_000, 10_000
+	tasks := buildVariedTasks(nTasks, nodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := scaleCluster(nodes, 8)
+		c.SchedulePhase(tasks, 2)
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -27,14 +26,17 @@ type Task struct {
 	Run func(node NodeID, start float64) float64
 }
 
-// Assignment records where and when a task ran.
+// Assignment records where and when a task ran. Fields are ordered and
+// sized to keep the record at 40 bytes: phases at cluster scale hold one
+// per task (a 10k-node sweep schedules millions), and chaos splicing
+// copies them wholesale.
 type Assignment struct {
-	Task     int // index into the scheduled task slice
-	Node     NodeID
-	Slot     int // execution slot on the node, in [0, slotsPerNode)
 	Start    float64
 	Duration float64
-	Local    bool // whether the task ran on one of its preferred nodes
+	Task     int // index into the scheduled task slice
+	Node     NodeID
+	Slot     int32 // execution slot on the node, in [0, slotsPerNode)
+	Local    bool  // whether the task ran on one of its preferred nodes
 }
 
 // PhaseResult summarizes one scheduled phase (a map wave set or a reduce
@@ -44,7 +46,8 @@ type PhaseResult struct {
 	Assignments []Assignment
 	// Waves is the number of scheduling waves: ceil(tasks/slots) under
 	// uniform durations; reported for the adaptive optimizer, which
-	// collects statistics after the first wave.
+	// collects statistics after the first wave. Chaos recovery waves add
+	// their own wave counts on top.
 	Waves int
 	// LocalTasks counts tasks that ran with locality.
 	LocalTasks int
@@ -55,33 +58,96 @@ type PhaseResult struct {
 // export; the ordering is total (free, node, idx), so the pop sequence is
 // a pure function of the heap's contents — the parallel executor pushes
 // completions back in arrival order, and a total order keeps its picks
-// bit-identical to the serial executor's.
+// bit-identical to the serial executor's. node and idx are int32 so the
+// entry packs into 16 bytes; a 10k-node cluster holds 80k of them.
 type slot struct {
-	node NodeID
-	idx  int
 	free float64
+	node int32
+	idx  int32
 }
 
+// slotHeap is a typed binary min-heap of slots. It replaces the previous
+// container/heap implementation: push and pop move concrete values, so
+// dispatch no longer boxes a slot into an interface{} (one allocation per
+// push and one per pop) on the scheduler's hottest loop.
 type slotHeap []slot
 
-func (h slotHeap) Len() int { return len(h) }
-func (h slotHeap) Less(i, j int) bool {
-	if h[i].free != h[j].free {
-		return h[i].free < h[j].free
+func slotLess(a, b slot) bool {
+	if a.free != b.free {
+		return a.free < b.free
 	}
-	if h[i].node != h[j].node {
-		return h[i].node < h[j].node
+	if a.node != b.node {
+		return a.node < b.node
 	}
-	return h[i].idx < h[j].idx
+	return a.idx < b.idx
 }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	*h = old[:n-1]
-	return s
+
+func (h slotHeap) Len() int { return len(h) }
+
+func (h *slotHeap) push(s slot) {
+	*h = append(*h, s)
+	q := *h
+	// Sift up.
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !slotLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *slotHeap) pop() slot {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && slotLess(q[r], q[l]) {
+			min = r
+		}
+		if !slotLess(q[min], q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+// init establishes the heap invariant over arbitrary contents.
+func (h slotHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		// Sift down from i.
+		j := i
+		for {
+			l := 2*j + 1
+			if l >= n {
+				break
+			}
+			min := l
+			if r := l + 1; r < n && slotLess(h[r], h[l]) {
+				min = r
+			}
+			if !slotLess(h[min], h[j]) {
+				break
+			}
+			h[j], h[min] = h[min], h[j]
+			j = min
+		}
+	}
 }
 
 // taskPicker implements the deterministic locality-preferring greedy
@@ -90,29 +156,45 @@ func (h *slotHeap) Pop() interface{} {
 // otherwise takes the oldest pending task (a remote/"rack-off"
 // assignment). Both executors make the identical sequence of picks, so
 // placements — and therefore durations and makespans — are bit-identical.
+//
+// Per-node preference queues are dense slices indexed by node (node IDs
+// are dense in [0, Nodes)) with a consumed-prefix cursor per queue. A
+// task picked via one node's queue leaves dead entries in the queues of
+// its other preferred nodes; those are skipped on scan and the consumed
+// prefix is compacted away once it dominates the queue, so replicated
+// preferences at 10k nodes neither pin memory nor degrade pick into a
+// dead-entry crawl.
 type taskPicker struct {
 	tasks   []Task
 	pending []bool
-	byNode  map[NodeID][]int
-	next    int // cursor for non-local pickup, in task order
+	byNode  [][]int32 // per-node FIFO of preferring task indices
+	head    []int     // consumed prefix of each node's queue
+	next    int       // cursor for non-local pickup, in task order
 	left    int
 }
 
-func newTaskPicker(tasks []Task) *taskPicker {
+func newTaskPicker(tasks []Task, nodes int) *taskPicker {
 	p := &taskPicker{
 		tasks:   tasks,
 		pending: make([]bool, len(tasks)),
-		byNode:  make(map[NodeID][]int),
+		byNode:  make([][]int32, nodes),
+		head:    make([]int, nodes),
 		left:    len(tasks),
 	}
 	for i, t := range tasks {
 		p.pending[i] = true
 		for _, n := range t.Preferred {
-			p.byNode[n] = append(p.byNode[n], i)
+			if n >= 0 && int(n) < nodes {
+				p.byNode[n] = append(p.byNode[n], int32(i))
+			}
 		}
 	}
 	return p
 }
+
+// compactThreshold is the consumed-prefix length beyond which a queue is
+// shifted down; below it the cursor advance alone is cheaper.
+const compactThreshold = 64
 
 // pick takes the next task for a freed slot on node, or -1 when no tasks
 // remain.
@@ -121,17 +203,31 @@ func (p *taskPicker) pick(node NodeID) (ti int, local bool) {
 		return -1, false
 	}
 	ti = -1
-	queue := p.byNode[node]
-	for len(queue) > 0 {
-		cand := queue[0]
-		queue = queue[1:]
+	q := p.byNode[node]
+	h := p.head[node]
+	for h < len(q) {
+		cand := int(q[h])
+		h++
 		if p.pending[cand] {
 			ti = cand
 			local = true
 			break
 		}
 	}
-	p.byNode[node] = queue
+	// Skip-compact: drop the consumed prefix once it dominates the queue
+	// so dead entries are released instead of rescanned via a long head
+	// offset on a retained backing array.
+	switch {
+	case h >= len(q):
+		p.byNode[node] = q[:0]
+		p.head[node] = 0
+	case h >= compactThreshold && h*2 >= len(q):
+		n := copy(q, q[h:])
+		p.byNode[node] = q[:n]
+		p.head[node] = 0
+	default:
+		p.head[node] = h
+	}
 	if ti < 0 {
 		for p.next < len(p.tasks) && !p.pending[p.next] {
 			p.next++
@@ -187,13 +283,13 @@ func (c *Cluster) newSlotHeap(slotsPerNode int, down func(NodeID) bool) slotHeap
 			continue
 		}
 		for s := 0; s < slotsPerNode; s++ {
-			h = append(h, slot{node: NodeID(n), idx: s, free: 0})
+			h = append(h, slot{node: int32(n), idx: int32(s), free: 0})
 		}
 	}
 	if len(h) == 0 {
 		panic("sim: no nodes available to schedule on (all down)")
 	}
-	heap.Init(&h)
+	h.init()
 	return h
 }
 
@@ -222,23 +318,23 @@ func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int, down func(
 	if len(tasks) == 0 {
 		return res
 	}
-	picker := newTaskPicker(tasks)
+	picker := newTaskPicker(tasks, c.cfg.Nodes)
 	h := c.newSlotHeap(slotsPerNode, down)
 	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
 
 	for scheduled := 0; scheduled < len(tasks); scheduled++ {
-		s := heap.Pop(&h).(slot)
-		ti, local := picker.pick(s.node)
+		s := h.pop()
+		ti, local := picker.pick(NodeID(s.node))
 		if ti < 0 {
 			// All remaining tasks are already taken: shouldn't happen
 			// because the pending count drives the loop.
 			break
 		}
-		dur := (c.cfg.TaskStartup + tasks[ti].Run(s.node, s.free)) / c.cfg.SpeedOf(s.node)
-		res.record(Assignment{Task: ti, Node: s.node, Slot: s.idx, Start: s.free, Duration: dur, Local: local})
-		heap.Push(&h, slot{node: s.node, idx: s.idx, free: s.free + dur})
+		dur := (c.cfg.TaskStartup + tasks[ti].Run(NodeID(s.node), s.free)) / c.cfg.SpeedOf(NodeID(s.node))
+		res.record(Assignment{Task: ti, Node: NodeID(s.node), Slot: s.idx, Start: s.free, Duration: dur, Local: local})
+		h.push(slot{node: s.node, idx: s.idx, free: s.free + dur})
 	}
 	res.sortAssignments()
 	return res

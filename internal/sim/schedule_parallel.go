@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -28,17 +27,84 @@ import (
 // nodes must be synchronized and order-independent (atomic counters,
 // OR-able sketches); see the concurrency model note in DESIGN.md.
 type parWork struct {
-	seq   int // dispatch sequence, identifies the in-flight entry
-	task  int
-	slot  int
 	start float64
+	seq   int32 // dispatch sequence, identifies the in-flight entry
+	task  int32
+	slot  int32
 	local bool
 }
 
 type parDone struct {
-	node NodeID
 	work parWork
 	dur  float64
+	node NodeID
+}
+
+// lbEntry is one in-flight task's earliest possible virtual end time.
+type lbEntry struct {
+	lb  float64
+	seq int32
+}
+
+// lbHeap tracks the minimum lower bound over all in-flight tasks as a
+// typed min-heap with lazy deletion: completions mark their sequence
+// number retired, and stale tops are popped on the next min query. The
+// dispatch loop consults the minimum once per placement, so this keeps
+// coordination O(log inflight) instead of the previous full-map scan per
+// dispatch — the scan went quadratic at 10k nodes × 8 slots.
+type lbHeap struct {
+	h       []lbEntry
+	retired []bool // indexed by seq; seq < len(tasks) always
+}
+
+func (l *lbHeap) push(e lbEntry) {
+	l.h = append(l.h, e)
+	i := len(l.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if l.h[parent].lb <= l.h[i].lb {
+			break
+		}
+		l.h[i], l.h[parent] = l.h[parent], l.h[i]
+		i = parent
+	}
+}
+
+func (l *lbHeap) popTop() {
+	n := len(l.h) - 1
+	l.h[0] = l.h[n]
+	l.h = l.h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && l.h[r].lb < l.h[c].lb {
+			c = r
+		}
+		if l.h[i].lb <= l.h[c].lb {
+			break
+		}
+		l.h[i], l.h[c] = l.h[c], l.h[i]
+		i = c
+	}
+}
+
+// retire marks an in-flight entry complete; its heap entry is dropped
+// lazily by the next min query.
+func (l *lbHeap) retire(seq int32) { l.retired[seq] = true }
+
+// min returns the earliest possible end time of any in-flight task, or
+// +Inf when none are in flight.
+func (l *lbHeap) min() float64 {
+	for len(l.h) > 0 && l.retired[l.h[0].seq] {
+		l.popTop()
+	}
+	if len(l.h) == 0 {
+		return math.Inf(1)
+	}
+	return l.h[0].lb
 }
 
 // schedulePhaseParallel executes task bodies on up to `workers` goroutines
@@ -49,26 +115,37 @@ func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int,
 	if len(tasks) == 0 {
 		return res
 	}
-	picker := newTaskPicker(tasks)
+	picker := newTaskPicker(tasks, c.cfg.Nodes)
 	h := c.newSlotHeap(slotsPerNode, down)
 	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
 
 	sem := make(chan struct{}, workers)
-	// Each in-flight slot holds at most one task, so a totalSlots buffer
-	// guarantees node goroutines never block reporting completions.
-	done := make(chan parDone, totalSlots)
-	queues := make(map[NodeID]chan parWork, c.cfg.Nodes)
+	// Each in-flight slot holds at most one task, so a buffer of
+	// min(totalSlots, tasks) guarantees node goroutines never block
+	// reporting completions.
+	doneCap := totalSlots
+	if len(tasks) < doneCap {
+		doneCap = len(tasks)
+	}
+	done := make(chan parDone, doneCap)
+	// A node can hold at most slotsPerNode dispatched-but-unfinished
+	// tasks (one per slot; a slot re-enters the heap only on completion),
+	// so per-node queues are tiny regardless of phase size — a 1M-task
+	// phase no longer allocates 1M-entry channel buffers per node.
+	queues := make([]chan parWork, c.cfg.Nodes)
 	defer func() {
 		for _, q := range queues {
-			close(q)
+			if q != nil {
+				close(q)
+			}
 		}
 	}()
 	queueFor := func(node NodeID) chan parWork {
-		q, ok := queues[node]
-		if !ok {
-			q = make(chan parWork, len(tasks))
+		q := queues[node]
+		if q == nil {
+			q = make(chan parWork, slotsPerNode)
 			queues[node] = q
 			go func() {
 				for w := range q {
@@ -82,42 +159,30 @@ func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int,
 		return q
 	}
 
-	// inflight maps dispatch sequence → earliest possible virtual end of
-	// that task (its slot's free time plus the minimum task duration).
-	inflight := make(map[int]float64, totalSlots)
-	earliestInflight := func() float64 {
-		min := math.Inf(1)
-		for _, lb := range inflight {
-			if lb < min {
-				min = lb
-			}
-		}
-		return min
-	}
-
-	seq, scheduled, completed := 0, 0, 0
+	infl := lbHeap{retired: make([]bool, len(tasks))}
+	seq, scheduled, completed := int32(0), 0, 0
 	for completed < len(tasks) {
 		// Dispatch every placement the virtual clock has already decided:
 		// the earliest idle slot strictly precedes any possible in-flight
 		// completion, so it is exactly the slot the serial executor pops
 		// next.
-		for scheduled < len(tasks) && h.Len() > 0 && h[0].free < earliestInflight() {
-			s := heap.Pop(&h).(slot)
-			ti, local := picker.pick(s.node)
+		for scheduled < len(tasks) && h.Len() > 0 && h[0].free < infl.min() {
+			s := h.pop()
+			ti, local := picker.pick(NodeID(s.node))
 			if ti < 0 {
 				break
 			}
-			w := parWork{seq: seq, task: ti, slot: s.idx, start: s.free, local: local}
-			inflight[seq] = s.free + c.cfg.TaskStartup/c.cfg.SpeedOf(s.node)
+			w := parWork{seq: seq, task: int32(ti), slot: s.idx, start: s.free, local: local}
+			infl.push(lbEntry{lb: s.free + c.cfg.TaskStartup/c.cfg.SpeedOf(NodeID(s.node)), seq: seq})
 			seq++
-			queueFor(s.node) <- w
+			queueFor(NodeID(s.node)) <- w
 			scheduled++
 		}
 		d := <-done
 		completed++
-		delete(inflight, d.work.seq)
-		res.record(Assignment{Task: d.work.task, Node: d.node, Slot: d.work.slot, Start: d.work.start, Duration: d.dur, Local: d.work.local})
-		heap.Push(&h, slot{node: d.node, idx: d.work.slot, free: d.work.start + d.dur})
+		infl.retire(d.work.seq)
+		res.record(Assignment{Task: int(d.work.task), Node: d.node, Slot: d.work.slot, Start: d.work.start, Duration: d.dur, Local: d.work.local})
+		h.push(slot{node: int32(d.node), idx: d.work.slot, free: d.work.start + d.dur})
 	}
 	res.sortAssignments()
 	return res
