@@ -70,7 +70,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 	if wave > n {
 		wave = n
 	}
-	mp1, err := rt.Engine.RunMapPhase(mainJob, seq(0, wave))
+	mp1, err := rt.run.RunMapPhase(mainJob, seq(0, wave))
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 	// No map-phase change: finish the map phase under the current plan.
 	var mpRest *mapreduce.MapPhaseResult
 	if wave < n {
-		mpRest, err = rt.Engine.RunMapPhase(mainJob, seq(wave, n))
+		mpRest, err = rt.run.RunMapPhase(mainJob, seq(wave, n))
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 
 	if conf.Reducer == nil {
 		merged := mergeMapPhases(mp1, mpRest)
-		res, err := rt.Engine.FinishMapOnly(mainJob, merged)
+		res, err := rt.run.FinishMapOnly(mainJob, merged)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func (rt *Runtime) runDynamic(conf *IndexJobConf) (*JobResult, error) {
 		return rt.reducePhaseAdaptive(conf, total, mainJob, outputs, basePlan)
 	}
 
-	sub, err := rt.Engine.RunReduceSubset(mainJob, outputs, nil)
+	sub, err := rt.run.RunReduceSubset(mainJob, outputs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +251,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 		}
 		last := k == len(co.jobs)-1
 		if !last {
-			r, err := rt.Engine.Run(job)
+			r, err := rt.run.Run(job)
 			if err != nil {
 				return nil, err
 			}
@@ -268,7 +268,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 		}
 		// Final job: its reducers pull from both the new-plan map tasks
 		// and the completed baseline first-wave tasks.
-		mpRest, err := rt.Engine.RunMapPhase(job, nil)
+		mpRest, err := rt.run.RunMapPhase(job, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -282,7 +282,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 		}
 		if conf.Reducer == nil {
 			merged := mergeMapPhases(mp1, mpRest)
-			res, err := rt.Engine.FinishMapOnly(job, merged)
+			res, err := rt.run.FinishMapOnly(job, merged)
 			if err != nil {
 				return nil, err
 			}
@@ -290,7 +290,7 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 			return total, nil
 		}
 		outputs := append(append([]*mapreduce.MapOutput(nil), mp1.Outputs...), mpRest.Outputs...)
-		sub, err := rt.Engine.RunReduceSubset(job, outputs, nil)
+		sub, err := rt.run.RunReduceSubset(job, outputs, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -316,7 +316,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 	if rwave > conf.NumReduce {
 		rwave = conf.NumReduce
 	}
-	sub1, err := rt.Engine.RunReduceSubset(mainJob, outputs, seq(0, rwave))
+	sub1, err := rt.run.RunReduceSubset(mainJob, outputs, seq(0, rwave))
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +330,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 		shards = append(shards, sub1.Shards...)
 		homes = append(homes, sub1.Homes...)
 		if rwave < conf.NumReduce {
-			sub2, err := rt.Engine.RunReduceSubset(mainJob, outputs, seq(rwave, conf.NumReduce))
+			sub2, err := rt.run.RunReduceSubset(mainJob, outputs, seq(rwave, conf.NumReduce))
 			if err != nil {
 				return nil, err
 			}
@@ -361,7 +361,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 	confNoOut := *conf
 	confNoOut.OutputName = ""
 	newMain := co.engineJob(&confNoOut, 0, conf.Input)
-	sub2, err := rt.Engine.RunReduceSubset(newMain, outputs, seq(rwave, conf.NumReduce))
+	sub2, err := rt.run.RunReduceSubset(newMain, outputs, seq(rwave, conf.NumReduce))
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +376,7 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 	}
 	for k := 1; k < len(co.jobs); k++ {
 		job := co.engineJob(&confNoOut, k, input)
-		r, err := rt.Engine.Run(job)
+		r, err := rt.run.Run(job)
 		if err != nil {
 			return nil, err
 		}

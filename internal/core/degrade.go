@@ -45,14 +45,14 @@ func (e *mapPhaseFailure) Unwrap() error { return e.err }
 // splits. resumable marks jobs whose map output is plan-independent (the
 // only job of a single-job plan).
 func (rt *Runtime) runJob(job *mapreduce.Job, resumable bool) (*mapreduce.Result, error) {
-	mp, err := rt.Engine.RunMapPhase(job, nil)
+	mp, err := rt.run.RunMapPhase(job, nil)
 	if err != nil {
 		return nil, &mapPhaseFailure{jobName: job.Name, mp: mp, resumable: resumable, err: err}
 	}
 	if job.Reduce == nil {
-		return rt.Engine.FinishMapOnly(job, mp)
+		return rt.run.FinishMapOnly(job, mp)
 	}
-	return rt.Engine.RunReducePhase(job, mp)
+	return rt.run.RunReducePhase(job, mp)
 }
 
 // submitDegradable runs the job, degrading index strategies on exhausted
@@ -164,7 +164,7 @@ func (rt *Runtime) resumeDegraded(conf *IndexJobConf, partial *mapreduce.MapPhas
 			missing = append(missing, i)
 		}
 	}
-	rest, err := rt.Engine.RunMapPhase(job, missing)
+	rest, err := rt.run.RunMapPhase(job, missing)
 	if err != nil {
 		return nil, &mapPhaseFailure{jobName: job.Name, mp: rest, err: err}
 	}
@@ -194,9 +194,9 @@ func (rt *Runtime) resumeDegraded(conf *IndexJobConf, partial *mapreduce.MapPhas
 	res := &JobResult{Plan: plan, Counters: make(map[string]int64), JobsRun: 1}
 	var r *mapreduce.Result
 	if job.Reduce == nil {
-		r, err = rt.Engine.FinishMapOnly(job, merged)
+		r, err = rt.run.FinishMapOnly(job, merged)
 	} else {
-		r, err = rt.Engine.RunReducePhase(job, merged)
+		r, err = rt.run.RunReducePhase(job, merged)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("efind: job %q: %w", job.Name, err)

@@ -150,6 +150,10 @@ type IndexJobConf struct {
 	// being demoted to the baseline strategy (only meaningful with Chaos
 	// outages and ErrorFailJob).
 	DisableDegrade bool
+	// SharedCache attaches every LookupCache-strategy client of this job
+	// to a cross-job cache pool (the job service's persistent per-machine
+	// soft state). Nil keeps caches private to the submission.
+	SharedCache *ixclient.Pool
 
 	head, body, tail []*Operator
 	forced           map[string]map[string]Strategy
@@ -283,6 +287,13 @@ type Runtime struct {
 	Engine  *mapreduce.Engine
 	Catalog *Catalog
 	Env     Env
+
+	// run is the per-submission job handle all phase execution goes
+	// through. Submit threads a fresh handle per call (so two sequential
+	// submissions never share clock state); the job service threads a
+	// service-mode handle via SubmitOn. Nil only on a Runtime that has
+	// not entered a submission yet.
+	run *mapreduce.JobRun
 }
 
 // NewRuntime builds a runtime on the engine with a fresh catalog.
@@ -293,7 +304,21 @@ func NewRuntime(e *mapreduce.Engine) *Runtime {
 // Submit runs the job under its configured mode and returns the result.
 // Index outages that exhaust the retry ladder trigger failure-driven
 // re-optimization (see degrade.go) before the job is allowed to fail.
+// Each submission runs on a fresh per-job clock.
 func (rt *Runtime) Submit(conf *IndexJobConf) (*JobResult, error) {
+	return rt.SubmitOn(rt.Engine.NewRun(), conf)
+}
+
+// SubmitOn is Submit on an explicit job handle: the multi-tenant job
+// service uses it to execute each admitted job on a service-mode run
+// (admission-time clock, slot-lease arbitration, namespaced tracing).
+// The receiver is copied shallowly — Engine, Catalog, and Env are shared
+// with the parent runtime, while the handle stays private to this
+// submission, so one tenant's runtime can serve concurrent submissions.
+func (rt *Runtime) SubmitOn(run *mapreduce.JobRun, conf *IndexJobConf) (*JobResult, error) {
+	sub := *rt
+	sub.run = run
+	rt = &sub
 	if err := conf.validate(rt); err != nil {
 		return nil, err
 	}
@@ -340,6 +365,9 @@ func fillIndexErrors(conf *IndexJobConf, res *JobResult) {
 // populate the catalog (the "sufficient statistics" precondition of the
 // paper's optimized mode), discarding the output.
 func (rt *Runtime) CollectStats(conf *IndexJobConf) error {
+	sub := *rt
+	sub.run = rt.Engine.NewRun()
+	rt = &sub
 	if err := conf.validate(rt); err != nil {
 		return err
 	}
@@ -473,14 +501,23 @@ type shuffleSpec struct {
 type compiled struct {
 	jobs  []*cjob
 	execs map[string]*opExec
+	// pool is the job's cross-job shared cache, if attached. Guarded and
+	// crash-reset at this level — once per node — because pooled caches
+	// are shared across every client of every operator, and journaling
+	// one cache twice would supersede the first guard.
+	pool *ixclient.Pool
 }
 
 // resetNode drops every operator client's caches on a crashed node: a
 // rebooted TaskTracker restarts with cold per-machine lookup caches
 // (wired to mapreduce.Job.OnNodeCrash when a chaos plan is attached).
+// Pooled caches on the node go cold with it.
 func (co *compiled) resetNode(node sim.NodeID) {
 	for _, x := range co.execs {
 		x.resetNode(node)
+	}
+	if co.pool != nil {
+		co.pool.ResetNode(node)
 	}
 }
 
@@ -489,9 +526,12 @@ func (co *compiled) resetNode(node sim.NodeID) {
 // so a re-executed task re-measures its cache misses from the same state
 // and the miss ratio R feeding the cost model stays unskewed.
 func (co *compiled) attemptGuard(node sim.NodeID) func() {
-	rollbacks := make([]func(), 0, len(co.execs))
+	rollbacks := make([]func(), 0, len(co.execs)+1)
 	for _, x := range co.execs {
 		rollbacks = append(rollbacks, x.snapshotNode(node))
+	}
+	if co.pool != nil {
+		rollbacks = append(rollbacks, co.pool.SnapshotNode(node))
 	}
 	return func() {
 		for _, rb := range rollbacks {
@@ -503,7 +543,7 @@ func (co *compiled) attemptGuard(node sim.NodeID) func() {
 // compilePlan lowers a job plan into the MapReduce job chain the plan
 // implementer will run (Figure 7's layouts generalized to whole jobs).
 func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, error) {
-	co := &compiled{execs: make(map[string]*opExec)}
+	co := &compiled{execs: make(map[string]*opExec), pool: conf.SharedCache}
 	for _, p := range plan.All() {
 		co.execs[p.Op.Name()] = newOpExec(p.Op, p, conf)
 	}

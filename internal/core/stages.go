@@ -49,6 +49,7 @@ func newOpExec(op *Operator, plan OperatorPlan, conf *IndexJobConf) *opExec {
 			Retry:         conf.Retry,
 			Batch:         conf.Batch,
 			Chaos:         conf.Chaos,
+			SharedCache:   conf.SharedCache,
 		})
 	}
 	return x

@@ -183,7 +183,7 @@ func sweepEngine(nodes, nTasks int) (engineTPS, chaosTPS float64, err error) {
 		e := mapreduce.New(cluster, fs)
 		job := &mapreduce.Job{Name: name, Input: input, Chaos: plan}
 		start := time.Now()
-		res, err := e.RunMapPhase(job, nil)
+		res, err := e.NewRun().RunMapPhase(job, nil)
 		if err != nil {
 			return nil, 0, err
 		}

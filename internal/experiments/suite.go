@@ -31,6 +31,7 @@ func All() []Experiment {
 		{ID: "ablation-straggler", Description: "Index locality under a straggler node (footnote 3)", Run: AblationStraggler},
 		{ID: "ablation-chaos", Description: "Seeded fault schedules: crash, speculation, index outage — same answer", Run: AblationChaos},
 		{ID: "batchcmp", Description: "Batched multi-get vs per-key lookups on the synthetic sweep", Run: BatchCompare},
+		{ID: "multi-tenant", Description: "Job service: 2 tenants sharing the cluster — fair makespans, pooled-cache uplift, cross-tenant outage", Run: MultiTenant},
 		{ID: "scale-sweep", Description: "Scheduler and engine wall-clock throughput at 100–10k nodes, clean and under chaos", Run: ScaleSweep},
 	}
 }

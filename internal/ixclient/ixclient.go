@@ -123,6 +123,14 @@ type Options struct {
 	// outage window fails with chaos.ErrUnavailable (transient, so the
 	// retry ladder polls for recovery) before any serve or network charge.
 	Chaos *chaos.Plan
+	// SharedCache attaches the client to a cross-job cache pool: with
+	// CacheReal, real hits are served from the pool's per-(index, node)
+	// caches — shared with every other pooled client, warm across jobs —
+	// while the probe/miss counters feeding the optimizer's R come from a
+	// private per-job shadow cache, so each job still measures the miss
+	// ratio it would see running alone. Nil keeps the caches private to
+	// the client (the one-shot path).
+	SharedCache *Pool
 }
 
 // DefaultCacheCapacity is the paper's lookup cache size (1024 entries).
@@ -315,29 +323,39 @@ func (c *Client) cacheFor(node sim.NodeID, shadow bool) *lru.Cache {
 	return cc
 }
 
-// SnapshotNode captures the client's cache state on one node and returns
-// a rollback that rewinds it, resetting any cache the node created after
+// SnapshotNode guards the client's cache state on one node and returns a
+// rollback that rewinds it, resetting any cache the node created after
 // the snapshot. The engine's fault tolerance uses it so a failed task
 // attempt does not leave the node's shared caches warmed — which would
 // skew the measured miss ratio R the cost model consumes.
+//
+// The guard is journal-based (lru.Cache.Begin): O(1) at snapshot time
+// plus O(cache operations during the attempt) at rollback, instead of
+// copying every cache entry eagerly — the difference between guarding
+// 1024-entry caches across 10k nodes and not affording it (see
+// BenchmarkSnapshotNode10kNodes). A guard that is never rolled back costs
+// nothing further: the next attempt's Begin on the same cache supersedes
+// its journal. Pooled caches (Options.SharedCache) are NOT guarded here —
+// they are shared across clients, so the plan-level guard journals them
+// exactly once via Pool.SnapshotNode.
 func (c *Client) SnapshotNode(node sim.NodeID) func() {
-	type snap struct {
-		cache *lru.Cache
-		state *lru.Snapshot
-	}
 	c.mu.Lock()
-	var snaps []snap
+	var caches []*lru.Cache
+	var undos []*lru.Undo
 	for _, m := range []map[sim.NodeID]*lru.Cache{c.real, c.shadow} {
 		if cc, ok := m[node]; ok {
-			snaps = append(snaps, snap{cc, cc.Snapshot()})
+			caches = append(caches, cc)
+			undos = append(undos, cc.Begin())
 		}
 	}
 	c.mu.Unlock()
 	return func() {
-		known := make(map[*lru.Cache]bool, len(snaps))
-		for _, s := range snaps {
-			s.cache.Restore(s.state)
-			known[s.cache] = true
+		for _, u := range undos {
+			u.Rollback()
+		}
+		known := make(map[*lru.Cache]bool, len(caches))
+		for _, cc := range caches {
+			known[cc] = true
 		}
 		c.mu.Lock()
 		for _, m := range []map[sim.NodeID]*lru.Cache{c.real, c.shadow} {

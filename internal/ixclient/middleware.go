@@ -46,6 +46,51 @@ func (c *Client) cache(next Handler) Handler {
 			return next(r)
 		}
 	}
+	if pool := c.opts.SharedCache; pool != nil {
+		// Pooled real cache: hits come from the cross-job shared cache,
+		// but the probe/miss counters the optimizer turns into R come
+		// from a private per-job key-only shadow replaying the same
+		// stream — an LRU over keys promotes and evicts identically
+		// whether or not values are attached, so the shadow's miss
+		// sequence is exactly what a private real cache would measure.
+		return func(r *Request) ([][]string, error) {
+			t := r.Task
+			cache := pool.cacheFor(ix, t.Node)
+			shadow := c.cacheFor(t.Node, true)
+			probeTime := t.Cluster().Config().CacheProbeTime
+			out := make([][]string, len(r.Keys))
+			var missIdx []int
+			for i, k := range r.Keys {
+				t.Charge(probeTime)
+				t.Inc(probes, 1)
+				if _, ok := shadow.Get(k); !ok {
+					t.Inc(misses, 1)
+					shadow.Put(k, nil)
+				}
+				if hit, ok := cache.Get(k); ok {
+					out[i] = hit
+				} else {
+					missIdx = append(missIdx, i)
+				}
+			}
+			if len(missIdx) == 0 {
+				return out, nil
+			}
+			missKeys := make([]string, len(missIdx))
+			for j, i := range missIdx {
+				missKeys[j] = r.Keys[i]
+			}
+			vals, err := next(&Request{Task: t, Keys: missKeys, Batched: r.Batched})
+			if err != nil {
+				return out, err
+			}
+			for j, i := range missIdx {
+				out[i] = vals[j]
+				cache.Put(r.Keys[i], vals[j])
+			}
+			return out, nil
+		}
+	}
 	return func(r *Request) ([][]string, error) {
 		t := r.Task
 		cache := c.cacheFor(t.Node, false)

@@ -1,0 +1,135 @@
+package ixclient
+
+import (
+	"sync"
+
+	"efind/internal/lru"
+	"efind/internal/sim"
+)
+
+// Pool is the cross-job shared lookup cache of the multi-tenant job
+// service: real per-(index, node) LRU caches that outlive any single job,
+// so a tenant's repeated query family finds the per-machine caches
+// already warm (the paper's per-machine lookup cache of §3.2 promoted to
+// service soft state). Clients attach via Options.SharedCache; a pooled
+// client serves real hits from the pool but keeps its own per-job shadow
+// cache, so the miss ratio R each job's optimizer observes is the value
+// the job would measure running alone (per-job shadow accounting).
+//
+// Concurrency and determinism: the pool and its caches are individually
+// locked, so access is memory-safe under any schedule. Determinism of
+// pooled contents relies on the job service's execution discipline — the
+// service runs one job's phase at a time in deterministic grant order, so
+// the pool state a phase observes is a pure function of the admission
+// trace and seed. Visibility is therefore phase-granular: a phase sees
+// the pool as of the phases that completed before it in grant order, not
+// the fine-grained virtual-time interleaving of individual lookups.
+type Pool struct {
+	capacity int
+
+	mu     sync.Mutex
+	caches map[poolKey]*lru.Cache
+}
+
+type poolKey struct {
+	index string
+	node  sim.NodeID
+}
+
+// NewPool returns an empty pool whose per-(index, node) caches hold up to
+// capacity entries each (0 = the paper's 1024).
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Pool{capacity: capacity, caches: make(map[poolKey]*lru.Cache)}
+}
+
+// Capacity returns the per-cache entry bound.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// cacheFor returns the pooled cache for one index on one node, creating
+// it lazily. All clients attached to the pool share it.
+func (p *Pool) cacheFor(index string, node sim.NodeID) *lru.Cache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := poolKey{index: index, node: node}
+	cc, ok := p.caches[k]
+	if !ok {
+		cc = lru.New(p.capacity)
+		p.caches[k] = cc
+	}
+	return cc
+}
+
+// SnapshotNode begins an undo journal on every pooled cache of one node
+// and returns a rollback that rewinds them, resetting any cache the node
+// acquired after the snapshot. The compiled plan's attempt guard calls it
+// once per task attempt — alongside, not through, the per-client guards,
+// because pooled caches are shared across clients and a second Begin on
+// the same cache would supersede the first journal.
+func (p *Pool) SnapshotNode(node sim.NodeID) func() {
+	p.mu.Lock()
+	var caches []*lru.Cache
+	var undos []*lru.Undo
+	for k, cc := range p.caches {
+		if k.node == node {
+			caches = append(caches, cc)
+			undos = append(undos, cc.Begin())
+		}
+	}
+	p.mu.Unlock()
+	return func() {
+		for _, u := range undos {
+			u.Rollback()
+		}
+		known := make(map[*lru.Cache]bool, len(caches))
+		for _, cc := range caches {
+			known[cc] = true
+		}
+		p.mu.Lock()
+		for k, cc := range p.caches {
+			if k.node == node && !known[cc] {
+				cc.Reset()
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ResetNode drops every pooled cache on one node: a crashed machine
+// reboots with its service soft state cold, for every index and every
+// job alike.
+func (p *Pool) ResetNode(node sim.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.caches {
+		if k.node == node {
+			delete(p.caches, k)
+		}
+	}
+}
+
+// Stats sums probe hits and misses over every pooled cache — the
+// service-level view of how much cross-job reuse the pool delivers.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, cc := range p.caches {
+		h, m := cc.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// HitRatio returns hits/(hits+misses) across the pool, or 0 when the
+// pool has never been probed.
+func (p *Pool) HitRatio() float64 {
+	hits, misses := p.Stats()
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

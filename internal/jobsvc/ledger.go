@@ -1,0 +1,91 @@
+package jobsvc
+
+import (
+	"math"
+	"sort"
+
+	"efind/internal/sim"
+)
+
+// slotLedger tracks one task kind's cluster slots by the virtual time
+// each becomes free. It answers two questions the scheduler loop asks:
+// when could a phase wanting k slots start (grantTime), and which k
+// slots does it get (take). Grants pick the earliest-free slots with a
+// (freeAt, node, slot) tie-break, so placement is a pure function of the
+// virtual timeline — never of wall-clock interleaving.
+type slotLedger struct {
+	perNode int
+	// freeAt[node*perNode+idx] is when that slot is next free; +Inf while
+	// a granted phase holds it (only transiently — every phase body runs
+	// to completion and releases before the loop selects again).
+	freeAt  []float64
+	scratch []int
+}
+
+func newSlotLedger(nodes, perNode int) *slotLedger {
+	return &slotLedger{perNode: perNode, freeAt: make([]float64, nodes*perNode)}
+}
+
+// total returns the ledger's slot count.
+func (l *slotLedger) total() int { return len(l.freeAt) }
+
+// ordered returns every slot index sorted by (freeAt, index). The slice
+// is reused across calls — callers must not retain it.
+func (l *slotLedger) ordered() []int {
+	if l.scratch == nil {
+		l.scratch = make([]int, len(l.freeAt))
+	}
+	s := l.scratch
+	for i := range s {
+		s[i] = i
+	}
+	sort.SliceStable(s, func(a, b int) bool { return l.freeAt[s[a]] < l.freeAt[s[b]] })
+	return s
+}
+
+// grantTime returns the earliest start >= ready at which `want` slots are
+// simultaneously free.
+func (l *slotLedger) grantTime(ready float64, want int) float64 {
+	if want <= 0 {
+		return ready
+	}
+	s := l.ordered()
+	if t := l.freeAt[s[want-1]]; t > ready {
+		return t
+	}
+	return ready
+}
+
+// take claims the `want` earliest-free slots as a lease and marks them
+// busy until release. A full-cluster take yields a lease whose scheduling
+// heap is bit-identical to unleased full-cluster scheduling — the lone
+// active job under the service places tasks exactly like the one-shot
+// engine path.
+func (l *slotLedger) take(want int) *sim.Lease {
+	nodes := len(l.freeAt) / l.perNode
+	perNode := make([][]int32, nodes)
+	s := l.ordered()
+	for _, slot := range s[:want] {
+		n := slot / l.perNode
+		perNode[n] = append(perNode[n], int32(slot%l.perNode))
+		l.freeAt[slot] = math.Inf(1)
+	}
+	for n := range perNode {
+		idxs := perNode[n]
+		sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	}
+	return sim.NewLease(perNode)
+}
+
+// release returns a lease's slots at the phase's end time.
+func (l *slotLedger) release(lease *sim.Lease, end float64) {
+	if lease == nil {
+		return
+	}
+	nodes := len(l.freeAt) / l.perNode
+	for n := 0; n < nodes; n++ {
+		for _, idx := range lease.NodeSlots(sim.NodeID(n)) {
+			l.freeAt[n*l.perNode+int(idx)] = end
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package lru
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// dump returns the cache's full observable state: entries oldest→newest
+// with their values, plus hit/miss counters. Comparing dumps compares
+// recency order, contents, and statistics at once.
+func dump(c *Cache) []string {
+	var out []string
+	hits, misses := c.Stats()
+	out = append(out, fmt.Sprintf("hits=%d misses=%d", hits, misses))
+	s := c.Snapshot()
+	for i, k := range s.keys {
+		out = append(out, fmt.Sprintf("%s=%v", k, s.values[i]))
+	}
+	return out
+}
+
+// applyRandom performs n random Get/Put operations drawn from rng.
+func applyRandom(c *Cache, rng *rand.Rand, n, keyDomain int) {
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(keyDomain))
+		if rng.Intn(2) == 0 {
+			c.Get(key)
+		} else {
+			c.Put(key, []string{fmt.Sprintf("v%d", rng.Intn(100))})
+		}
+	}
+}
+
+// TestJournalRollbackMatchesSnapshot is the property test: for random
+// operation streams, Begin + ops + Rollback restores exactly the state an
+// eager Snapshot captured at Begin — entries, recency order, and
+// statistics — across many seeds and capacities (including ones small
+// enough to force evictions through the journal's reinsert path).
+func TestJournalRollbackMatchesSnapshot(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, capacity := range []int{1, 3, 8, 64} {
+			rng := rand.New(rand.NewSource(seed))
+			c := New(capacity)
+			applyRandom(c, rng, 200, 16)
+			want := dump(c)
+
+			u := c.Begin()
+			applyRandom(c, rng, 200, 16)
+			u.Rollback()
+
+			if got := dump(c); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d cap %d: rollback diverged from snapshot\n got %v\nwant %v", seed, capacity, got, want)
+			}
+		}
+	}
+}
+
+// TestJournalCommitKeepsState verifies Commit releases the journal
+// without rewinding, and that a later Rollback on the committed handle is
+// inert.
+func TestJournalCommitKeepsState(t *testing.T) {
+	c := New(4)
+	c.Put("a", []string{"1"})
+	u := c.Begin()
+	c.Put("b", []string{"2"})
+	u.Commit()
+	want := dump(c)
+	u.Rollback() // must be a no-op
+	if got := dump(c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rollback after commit mutated state: %v vs %v", got, want)
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("committed entry lost")
+	}
+}
+
+// TestJournalSupersededByNewBegin: the engine takes one guard per attempt
+// and never resolves two on the same cache concurrently; a fresh Begin
+// voids any stale journal so its late Rollback cannot corrupt state.
+func TestJournalSupersededByNewBegin(t *testing.T) {
+	c := New(4)
+	c.Put("a", []string{"1"})
+	stale := c.Begin()
+	c.Put("b", []string{"2"})
+	fresh := c.Begin() // supersedes stale
+	c.Put("c", []string{"3"})
+	stale.Rollback() // inert: must not touch anything
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("inert rollback removed a fresh entry")
+	}
+	fresh.Rollback()
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("live rollback kept the fresh entry")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("rollback of the fresh journal rewound past its Begin")
+	}
+}
+
+// TestJournalResetVoidsJournal: Reset (node crash semantics) invalidates
+// an open journal instead of letting a later rollback resurrect entries.
+func TestJournalResetVoidsJournal(t *testing.T) {
+	c := New(4)
+	c.Put("a", []string{"1"})
+	u := c.Begin()
+	c.Put("b", []string{"2"})
+	c.Reset()
+	u.Rollback() // inert
+	if c.Len() != 0 {
+		t.Fatalf("rollback across Reset resurrected %d entries", c.Len())
+	}
+}
+
+// TestJournalCrossJobIsolation is the cross-job property: job B's entries
+// written before job A's guard survive A's rollback untouched — value
+// identity and recency order included — while A's writes disappear.
+func TestJournalCrossJobIsolation(t *testing.T) {
+	c := New(128)
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("jobB/%d", i), []string{fmt.Sprintf("b%d", i)})
+	}
+	want := dump(c)
+
+	u := c.Begin()
+	for i := 0; i < 40; i++ {
+		c.Put(fmt.Sprintf("jobA/%d", i), []string{"a"})
+		c.Get(fmt.Sprintf("jobB/%d", i%7)) // A probing shared entries
+	}
+	u.Rollback()
+
+	if got := dump(c); !reflect.DeepEqual(got, want) {
+		t.Fatalf("job A's rollback disturbed job B's entries\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestJournalConcurrentPerNodeGuards models the parallel executor: one
+// cache per node, each node's goroutine running guard/ops/rollback-or-
+// commit cycles concurrently with the others. Run under -race this proves
+// the journal adds no unsynchronized state; the per-node assertions prove
+// no cross-cache interference.
+func TestJournalConcurrentPerNodeGuards(t *testing.T) {
+	const nodes = 16
+	caches := make([]*Cache, nodes)
+	for i := range caches {
+		caches[i] = New(32)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes)
+	for n := 0; n < nodes; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n)))
+			c := caches[n]
+			applyRandom(c, rng, 100, 12)
+			for attempt := 0; attempt < 20; attempt++ {
+				before := dump(c)
+				u := c.Begin()
+				applyRandom(c, rng, 50, 12)
+				if attempt%3 == 0 {
+					u.Commit()
+					continue
+				}
+				u.Rollback()
+				if got := dump(c); !reflect.DeepEqual(got, before) {
+					errs <- fmt.Errorf("node %d attempt %d: rollback diverged", n, attempt)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,10 @@ type Cache struct {
 
 	hits   int64
 	misses int64
+
+	// journal, when non-nil, records inverse operations for the open
+	// Undo (see journal.go). Nil on the untouched hot path.
+	journal *Undo
 }
 
 type entry struct {
@@ -48,10 +52,17 @@ func (c *Cache) Get(key string) ([]string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		if j := c.journal; j != nil {
+			op := undoOp{kind: opGetHit, key: key}
+			recordMove(&op, el)
+			j.ops = append(j.ops, op)
+		}
 		c.ll.MoveToFront(el)
 		c.hits++
 		return el.Value.(*entry).values, true
 	}
+	// A miss touches only the counters, which Rollback restores from the
+	// Begin-time snapshot — nothing to journal.
 	c.misses++
 	return nil, false
 }
@@ -62,18 +73,29 @@ func (c *Cache) Put(key string, values []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		if j := c.journal; j != nil {
+			op := undoOp{kind: opPutUpdate, key: key, values: el.Value.(*entry).values}
+			recordMove(&op, el)
+			j.ops = append(j.ops, op)
+		}
 		c.ll.MoveToFront(el)
 		el.Value.(*entry).values = values
 		return
 	}
 	el := c.ll.PushFront(&entry{key: key, values: values})
 	c.items[key] = el
+	op := undoOp{kind: opPutNew, key: key}
 	if c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		if oldest != nil {
+			victim := oldest.Value.(*entry)
+			op.evict, op.evictedKey, op.values = true, victim.key, victim.values
 			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*entry).key)
+			delete(c.items, victim.key)
 		}
+	}
+	if j := c.journal; j != nil {
+		j.ops = append(j.ops, op)
 	}
 }
 
@@ -116,6 +138,12 @@ func (c *Cache) reset() {
 	c.ll = list.New()
 	c.items = make(map[string]*list.Element, c.capacity)
 	c.hits, c.misses = 0, 0
+	// A wholesale rewind invalidates any open journal: rolling back
+	// operations recorded against the discarded list would corrupt state.
+	if c.journal != nil {
+		c.journal.active = false
+		c.journal = nil
+	}
 }
 
 // Snapshot is a point-in-time copy of a cache's entries and statistics,

@@ -64,7 +64,7 @@ func (p *phasePatch) mark(i int) {
 }
 
 // applyMapChaos rewrites a finished map phase per the job's chaos plan.
-func (e *Engine) applyMapChaos(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
+func (e *JobRun) applyMapChaos(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error) {
 	if job.Chaos == nil || firstError(taskErrs) != nil {
 		return
 	}
@@ -75,7 +75,7 @@ func (e *Engine) applyMapChaos(job *Job, base float64, res *MapPhaseResult, spli
 }
 
 // applyReduceChaos is applyMapChaos's reduce-side twin.
-func (e *Engine) applyReduceChaos(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error) {
+func (e *JobRun) applyReduceChaos(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error) {
 	if job.Chaos == nil || firstError(taskErrs) != nil {
 		return
 	}
@@ -238,20 +238,18 @@ func commitBackup(a *sim.Assignment, st *TaskStats, backupNode sim.NodeID, backu
 	return true
 }
 
-// specInstant emits the race outcome as a trace instant.
-func (e *Engine) specInstant(name string, task int, won bool) {
-	if e.Trace == nil {
-		return
-	}
+// specInstant emits the race outcome as a trace instant, anchored at the
+// backup's absolute launch time for service runs.
+func (e *JobRun) specInstant(name string, task int, won bool, at float64) {
 	verdict := "lost"
 	if won {
 		verdict = "won"
 	}
-	e.Trace.AddInstant(fmt.Sprintf("speculate:%s[%d] %s", name, task, verdict), "chaos")
+	e.instant(fmt.Sprintf("speculate:%s[%d] %s", name, task, verdict), "chaos", at)
 }
 
 // speculateMap launches backup attempts for map stragglers.
-func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, splits []int, patch *phasePatch) {
+func (e *JobRun) speculateMap(job *Job, base float64, res *MapPhaseResult, splits []int, patch *phasePatch) {
 	spec := job.Chaos.Spec()
 	if !spec.Enabled || len(res.Phase.Assignments) < 2 {
 		return
@@ -298,7 +296,7 @@ func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, split
 			// failing the task; the original attempt stands.
 			res.Stats[i].Counters[chaos.CtrSpecLaunched]++
 			res.Stats[i].Counters[chaos.CtrSpecLost]++
-			e.specInstant(job.Name+"/map", i, false)
+			e.specInstant(job.Name+"/map", i, false, base+start)
 			continue
 		}
 		dur := (cfg.TaskStartup + st.Duration) / cfg.SpeedOf(node)
@@ -313,12 +311,12 @@ func (e *Engine) speculateMap(job *Job, base float64, res *MapPhaseResult, split
 			bp.commit(oldNode, res.Phase.Assignments, node, start+dur)
 			patch.mark(ai)
 		}
-		e.specInstant(job.Name+"/map", i, won)
+		e.specInstant(job.Name+"/map", i, won, base+start)
 	}
 }
 
 // speculateReduce launches backup attempts for reduce stragglers.
-func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, patch *phasePatch) {
+func (e *JobRun) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, patch *phasePatch) {
 	spec := job.Chaos.Spec()
 	if !spec.Enabled || len(sub.Phase.Assignments) < 2 {
 		return
@@ -361,7 +359,7 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 		if err != nil {
 			sub.Stats[i].Counters[chaos.CtrSpecLaunched]++
 			sub.Stats[i].Counters[chaos.CtrSpecLost]++
-			e.specInstant(job.Name+"/reduce", r, false)
+			e.specInstant(job.Name+"/reduce", r, false, base+start)
 			continue
 		}
 		dur := (cfg.TaskStartup + st.Duration) / cfg.SpeedOf(node)
@@ -373,7 +371,7 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 			bp.commit(oldNode, sub.Phase.Assignments, node, start+dur)
 			patch.mark(ai)
 		}
-		e.specInstant(job.Name+"/reduce", r, won)
+		e.specInstant(job.Name+"/reduce", r, won, base+start)
 	}
 }
 
@@ -381,11 +379,11 @@ func (e *Engine) speculateReduce(job *Job, base float64, sub *ReduceSubsetResult
 // window: for each crash, every assignment the dead node holds is
 // discarded and re-executed as a recovery wave on the surviving nodes,
 // starting at the crash instant.
-func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error, patch *phasePatch) {
+func (e *JobRun) crashMap(job *Job, base float64, res *MapPhaseResult, splits []int, taskErrs []error, patch *phasePatch) {
 	for _, cr := range job.Chaos.CrashesIn(base, base+res.Phase.Makespan) {
 		res.Counters[chaos.CtrNodeCrashes]++
+		e.instant(fmt.Sprintf("crash:node%d", cr.Node), "chaos", cr.At)
 		if e.Trace != nil {
-			e.Trace.AddInstant(fmt.Sprintf("crash:node%d", cr.Node), "chaos")
 			e.Trace.Metrics.Add(chaos.CtrNodeCrashes, 1)
 		}
 		if job.OnNodeCrash != nil {
@@ -412,7 +410,10 @@ func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []
 				Run:       e.mapTaskRun(job, cr.At, seq, i, s, chunk, res, taskErrs),
 			}
 		}
-		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().MapSlotsPerNode, func(n sim.NodeID) bool {
+		// Recovery waves stay inside the job's slot lease: under the job
+		// service a crashed tenant's re-runs must not spill onto slots
+		// leased to other jobs.
+		rec := e.Cluster.SchedulePhaseLease(recTasks, e.Cluster.Config().MapSlotsPerNode, e.lease, func(n sim.NodeID) bool {
 			return job.Chaos.NodeDown(n, cr.At)
 		})
 		spliceRecovery(res.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base, patch)
@@ -427,11 +428,11 @@ func (e *Engine) crashMap(job *Job, base float64, res *MapPhaseResult, splits []
 
 // crashReduce is crashMap's reduce-side twin. Map outputs survive
 // (eager shuffle); only the dead node's reduce tasks re-run.
-func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error, patch *phasePatch) {
+func (e *JobRun) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, outputs []*MapOutput, taskErrs []error, patch *phasePatch) {
 	for _, cr := range job.Chaos.CrashesIn(base, base+sub.Phase.Makespan) {
 		sub.Counters[chaos.CtrNodeCrashes]++
+		e.instant(fmt.Sprintf("crash:node%d", cr.Node), "chaos", cr.At)
 		if e.Trace != nil {
-			e.Trace.AddInstant(fmt.Sprintf("crash:node%d", cr.Node), "chaos")
 			e.Trace.Metrics.Add(chaos.CtrNodeCrashes, 1)
 		}
 		if job.OnNodeCrash != nil {
@@ -451,7 +452,7 @@ func (e *Engine) crashReduce(job *Job, base float64, sub *ReduceSubsetResult, ou
 				Run: e.reduceTaskRun(job, cr.At, seq, i, sub.Reducers[i], outputs, sub, taskErrs),
 			}
 		}
-		rec := e.Cluster.SchedulePhaseAvail(recTasks, e.Cluster.Config().ReduceSlotsPerNode, func(n sim.NodeID) bool {
+		rec := e.Cluster.SchedulePhaseLease(recTasks, e.Cluster.Config().ReduceSlotsPerNode, e.lease, func(n sim.NodeID) bool {
 			return job.Chaos.NodeDown(n, cr.At)
 		})
 		spliceRecovery(sub.Phase.Assignments, lost, origTask, rec.Assignments, cr.At-base, patch)

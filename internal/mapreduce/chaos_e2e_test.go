@@ -245,3 +245,49 @@ func TestChaosDifferentSeedsSameOutput(t *testing.T) {
 		sameRaw(t, fmt.Sprintf("seed-%d", seed), rawOutput(clean), rawOutput(res))
 	}
 }
+
+// TestEngineRunTwiceWithChaosIdentical runs the same absolutely-timed
+// chaos job twice through ONE engine. Engine.Run hands each call a fresh
+// JobRun, so the virtual clock restarts at zero and the crash window
+// lands identically both times. (Before per-job run state, the engine's
+// clock carried over: the second run started past the crash time and the
+// fault silently never fired.)
+func TestEngineRunTwiceWithChaosIdentical(t *testing.T) {
+	fs, e := chaosEnv(t, 1)
+	in := makeInput(t, fs, "in", 900)
+
+	probe, err := e.Run(wordCountJob(in, "wc-probe", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := probe.MapPhase.Assignments[0].Node
+	at := 0.5 * probe.MapPhase.Makespan
+
+	run := func(name string) *Result {
+		job := wordCountJob(in, name, false)
+		job.Chaos = chaos.MustNew(chaos.Config{
+			Seed:    7,
+			Crashes: []chaos.Crash{{Node: victim, At: at, Recover: at + 1000}},
+		}, 4)
+		res, err := e.Run(job)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res
+	}
+	first := run("wc-twice-a")
+	second := run("wc-twice-b")
+
+	for i, res := range []*Result{first, second} {
+		if got := res.Counters[chaos.CtrNodeCrashes]; got != 1 {
+			t.Fatalf("run %d: node crashes = %d, want 1 — the crash window must fire on every run", i+1, got)
+		}
+	}
+	if first.VTime != second.VTime {
+		t.Fatalf("virtual time leaked across runs: %g vs %g", first.VTime, second.VTime)
+	}
+	sameRaw(t, "run-twice", rawOutput(first), rawOutput(second))
+	if !reflect.DeepEqual(first.Counters, second.Counters) {
+		t.Fatalf("counters diverged across identical runs:\n want %v\n got  %v", first.Counters, second.Counters)
+	}
+}

@@ -3,7 +3,6 @@ package mapreduce
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"efind/internal/dfs"
 	"efind/internal/obs"
@@ -17,9 +16,11 @@ import (
 // results are identical to a serial run.
 //
 // Fault injection and chaos schedules are per-Job configuration (see
-// Job.FaultInjector and Job.Chaos); the engine itself holds no mutable
-// fault state, so concurrent jobs on one engine cannot leak injectors
-// into each other.
+// Job.FaultInjector and Job.Chaos), and all per-job mutable state — the
+// virtual clock, phase sequence, slot lease — lives on the JobRun handle
+// (see run.go). The Engine itself is immutable after construction, so any
+// number of runs, sequential or interleaved by the job service, share one
+// Engine without leaking state into each other.
 type Engine struct {
 	Cluster *sim.Cluster
 	FS      *dfs.FS
@@ -29,39 +30,6 @@ type Engine struct {
 	// default) keeps the hot path untouched: task contexts skip span
 	// recording entirely and allocate nothing for it.
 	Trace *obs.Trace
-
-	// The engine's virtual clock: the sum of the makespans of every phase
-	// it has run, mirroring the trace clock. Chaos schedules (crash
-	// windows, index outage windows) are expressed against this clock.
-	clockMu  sync.Mutex
-	vclock   float64
-	phaseSeq int
-}
-
-// Now returns the engine's virtual clock: the total virtual time of the
-// phases run so far. Phase-internal events add the task's own start and
-// charge times on top (TaskContext.Now).
-func (e *Engine) Now() float64 {
-	e.clockMu.Lock()
-	defer e.clockMu.Unlock()
-	return e.vclock
-}
-
-// beginPhase reads the clock and claims the next phase sequence number
-// (the deterministic key for per-phase chaos draws).
-func (e *Engine) beginPhase() (base float64, seq int) {
-	e.clockMu.Lock()
-	defer e.clockMu.Unlock()
-	seq = e.phaseSeq
-	e.phaseSeq++
-	return e.vclock, seq
-}
-
-// advance moves the virtual clock past a completed phase.
-func (e *Engine) advance(d float64) {
-	e.clockMu.Lock()
-	e.vclock += d
-	e.clockMu.Unlock()
 }
 
 // CounterTaskRetries counts failed task attempts that were re-executed.
@@ -108,12 +76,19 @@ type Result struct {
 	MapOutputs  []*MapOutput
 }
 
+// Run executes the whole job on a fresh per-job handle and returns its
+// result. Each call gets its own virtual clock starting at zero — two
+// sequential Runs on one engine are fully independent.
+func (e *Engine) Run(job *Job) (*Result, error) {
+	return e.NewRun().Run(job)
+}
+
 // Run executes the whole job and returns its result. Splits limits the map
 // phase to the given split indices when non-nil (used by the adaptive
 // runtime to process first-wave splits under one plan and the rest under
 // another).
-func (e *Engine) Run(job *Job) (*Result, error) {
-	if err := job.validate(e); err != nil {
+func (e *JobRun) Run(job *Job) (*Result, error) {
+	if err := job.validate(e.Engine); err != nil {
 		return nil, err
 	}
 	mp, err := e.RunMapPhase(job, nil)
@@ -136,8 +111,8 @@ func (e *Engine) Run(job *Job) (*Result, error) {
 // succeeded. The EFind runtime reuses those completed splits when a
 // failure-triggered plan change re-runs only the missing work
 // (Figure 10(a) applied to faults).
-func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
-	if err := job.validate(e); err != nil {
+func (e *JobRun) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
+	if err := job.validate(e.Engine); err != nil {
 		return nil, err
 	}
 	if splits == nil {
@@ -155,7 +130,8 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 		}
 	}
 
-	base, seq := e.beginPhase()
+	ready, seq := e.beginPhase()
+	base, lease := e.grantPhase(MapTask, len(splits), ready)
 	res := &MapPhaseResult{
 		Outputs:  make([]*MapOutput, len(splits)),
 		Stats:    make([]TaskStats, len(splits)),
@@ -178,12 +154,13 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 			Run:       e.mapTaskRun(job, base, seq, i, s, chunk, res, taskErrs),
 		}
 	}
-	res.Phase = e.Cluster.SchedulePhaseAvail(tasks, e.Cluster.Config().MapSlotsPerNode, job.downAt(base))
+	res.Phase = e.Cluster.SchedulePhaseLease(tasks, e.Cluster.Config().MapSlotsPerNode, lease, job.downAt(base))
 	e.applyMapChaos(job, base, res, splits, taskErrs)
 	e.advance(res.Phase.Makespan)
+	e.endPhase(MapTask, lease, base, base+res.Phase.Makespan)
 	if err := firstError(taskErrs); err != nil {
 		if job.Chaos != nil {
-			e.emitPhase(job.Name+"/map", "map", res.Phase, res.Stats)
+			e.emitPhase(job.Name+"/map", "map", base, res.Phase, res.Stats)
 		}
 		return res, err
 	}
@@ -191,7 +168,7 @@ func (e *Engine) RunMapPhase(job *Job, splits []int) (*MapPhaseResult, error) {
 	for _, st := range res.Stats {
 		mergeCounters(res.Counters, st.Counters)
 	}
-	e.emitPhase(job.Name+"/map", "map", res.Phase, res.Stats)
+	e.emitPhase(job.Name+"/map", "map", base, res.Phase, res.Stats)
 	return res, nil
 }
 
@@ -414,8 +391,8 @@ func totalRecords(buckets [][]Pair) int {
 // RunReducePhase shuffles the given map outputs, runs the reduce side, and
 // writes the job output. The map outputs may come from several map phases
 // (plan changes merge old-plan and new-plan map results, Figure 10(a)).
-func (e *Engine) RunReducePhase(job *Job, mp *MapPhaseResult, extra ...*MapPhaseResult) (*Result, error) {
-	if err := job.validate(e); err != nil {
+func (e *JobRun) RunReducePhase(job *Job, mp *MapPhaseResult, extra ...*MapPhaseResult) (*Result, error) {
+	if err := job.validate(e.Engine); err != nil {
 		return nil, err
 	}
 	if job.Reduce == nil {
@@ -484,8 +461,8 @@ type ReduceSubsetResult struct {
 // it for mid-reduce plan changes (Figure 10(b)): first-wave reducers run
 // under the old plan, the rest under the new one, and the caller merges
 // the shards.
-func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int) (*ReduceSubsetResult, error) {
-	if err := job.validate(e); err != nil {
+func (e *JobRun) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int) (*ReduceSubsetResult, error) {
+	if err := job.validate(e.Engine); err != nil {
 		return nil, err
 	}
 	if job.Reduce == nil {
@@ -509,7 +486,8 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 		Stats:    make([]TaskStats, len(reducers)),
 		Counters: make(map[string]int64),
 	}
-	base, seq := e.beginPhase()
+	ready, seq := e.beginPhase()
+	base, lease := e.grantPhase(ReduceTask, len(reducers), ready)
 	taskErrs := make([]error, len(reducers))
 	tasks := make([]sim.Task, len(reducers))
 	for i, r := range reducers {
@@ -517,9 +495,10 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 			Run: e.reduceTaskRun(job, base, seq, i, r, outputs, sub, taskErrs),
 		}
 	}
-	sub.Phase = e.Cluster.SchedulePhaseAvail(tasks, e.Cluster.Config().ReduceSlotsPerNode, job.downAt(base))
+	sub.Phase = e.Cluster.SchedulePhaseLease(tasks, e.Cluster.Config().ReduceSlotsPerNode, lease, job.downAt(base))
 	e.applyReduceChaos(job, base, sub, outputs, taskErrs)
 	e.advance(sub.Phase.Makespan)
+	e.endPhase(ReduceTask, lease, base, base+sub.Phase.Makespan)
 	if err := firstError(taskErrs); err != nil {
 		return nil, err
 	}
@@ -527,7 +506,7 @@ func (e *Engine) RunReduceSubset(job *Job, outputs []*MapOutput, reducers []int)
 	for _, st := range sub.Stats {
 		mergeCounters(sub.Counters, st.Counters)
 	}
-	e.emitPhase(job.Name+"/reduce", "reduce", sub.Phase, sub.Stats)
+	e.emitPhase(job.Name+"/reduce", "reduce", base, sub.Phase, sub.Stats)
 	return sub, nil
 }
 
@@ -571,12 +550,22 @@ func (e *Engine) reduceTaskRun(job *Job, base float64, seq, i, r int, outputs []
 // CI regression gate budgets. Assignments arrive sorted by (start,
 // task), so emission order — and the exported file — is deterministic
 // and identical for serial and parallel executions.
-func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []TaskStats) {
+//
+// One-shot runs place phases back to back on the trace's sequential
+// clock, as before. Service runs instead emit at phaseBase — the phase's
+// absolute start on the service timeline — so spans of interleaved jobs
+// land where they actually ran, and counters are folded in under the
+// run's (tenant, job) namespace.
+func (e *JobRun) emitPhase(name, kind string, phaseBase float64, phase sim.PhaseResult, stats []TaskStats) {
 	t := e.Trace
 	if t == nil {
 		return
 	}
-	base := t.Clock()
+	name = e.qual(name)
+	base := phaseBase
+	if !e.svc {
+		base = t.Clock()
+	}
 	cfg := e.Cluster.Config()
 	for _, a := range phase.Assignments {
 		st := stats[a.Task]
@@ -604,13 +593,15 @@ func (e *Engine) emitPhase(name, kind string, phase sim.PhaseResult, stats []Tas
 				Start: base + bodyStart + s.Start/speed, Dur: s.Dur / speed,
 			})
 		}
-		t.Metrics.AddAll(st.Counters)
+		e.addCountersToTrace(t, st.Counters)
 	}
 	t.AddStage(obs.StageProfile{
 		Name: t.Qualify(name), Kind: kind, VTime: phase.Makespan,
 		Tasks: len(stats), LocalTasks: phase.LocalTasks, Waves: phase.Waves,
 	})
-	t.Advance(phase.Makespan)
+	if !e.svc {
+		t.Advance(phase.Makespan)
+	}
 }
 
 // runReduceTask executes one reduce task: shuffle in, sort, group, reduce,

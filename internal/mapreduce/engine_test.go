@@ -289,7 +289,8 @@ func TestRunMapPhaseSubsetAndReuse(t *testing.T) {
 		NumReduce: 2,
 		Reduce:    IdentityReduce,
 	}
-	first, err := e.RunMapPhase(job, []int{0})
+	r := e.NewRun()
+	first, err := r.RunMapPhase(job, []int{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,11 +298,11 @@ func TestRunMapPhaseSubsetAndReuse(t *testing.T) {
 	for i := 1; i < len(in.Chunks); i++ {
 		rest = append(rest, i)
 	}
-	second, err := e.RunMapPhase(job, rest)
+	second, err := r.RunMapPhase(job, rest)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.RunReducePhase(job, first, second)
+	res, err := r.RunReducePhase(job, first, second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestRunMapPhaseSubsetAndReuse(t *testing.T) {
 func TestRunMapPhaseBadSplit(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 10)
-	if _, err := e.RunMapPhase(&Job{Name: "bad", Input: in}, []int{99}); err == nil {
+	if _, err := e.NewRun().RunMapPhase(&Job{Name: "bad", Input: in}, []int{99}); err == nil {
 		t.Fatal("expected out-of-range split error")
 	}
 }
@@ -325,17 +326,18 @@ func TestRunReduceSubsetValidation(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 60)
 	job := &Job{Name: "sub", Input: in, NumReduce: 3, Reduce: IdentityReduce}
-	mp, err := e.RunMapPhase(job, nil)
+	r := e.NewRun()
+	mp, err := r.RunMapPhase(job, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunReduceSubset(job, mp.Outputs, []int{5}); err == nil {
+	if _, err := r.RunReduceSubset(job, mp.Outputs, []int{5}); err == nil {
 		t.Fatal("out-of-range reducer should fail")
 	}
-	if _, err := e.RunReduceSubset(&Job{Name: "nored", Input: in}, mp.Outputs, nil); err == nil {
+	if _, err := r.RunReduceSubset(&Job{Name: "nored", Input: in}, mp.Outputs, nil); err == nil {
 		t.Fatal("reduce subset without reduce function should fail")
 	}
-	sub, err := e.RunReduceSubset(job, mp.Outputs, []int{2, 0})
+	sub, err := r.RunReduceSubset(job, mp.Outputs, []int{2, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +354,7 @@ func TestFinishMapOnlyNamedOutput(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 40)
 	job := &Job{Name: "named", Input: in, OutputName: "my-output"}
-	mp, err := e.RunMapPhase(job, nil)
+	mp, err := e.NewRun().RunMapPhase(job, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,11 +381,12 @@ func TestReducePhaseOnMapOnlyJobFails(t *testing.T) {
 	_, fs, e := testEnv(t)
 	in := makeInput(t, fs, "in", 10)
 	job := &Job{Name: "maponly", Input: in}
-	mp, err := e.RunMapPhase(job, nil)
+	r := e.NewRun()
+	mp, err := r.RunMapPhase(job, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunReducePhase(job, mp); err == nil {
+	if _, err := r.RunReducePhase(job, mp); err == nil {
 		t.Fatal("expected error reducing a map-only job")
 	}
 }
@@ -401,7 +404,7 @@ func TestMapPlacementHintHonored(t *testing.T) {
 		},
 		MapPlacement: func(int, *dfs.Chunk) []sim.NodeID { return []sim.NodeID{target} },
 	}
-	mp, err := e.RunMapPhase(job, nil)
+	mp, err := e.NewRun().RunMapPhase(job, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

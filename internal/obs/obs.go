@@ -139,6 +139,17 @@ func (r *Registry) AddAll(m map[string]int64) {
 	r.mu.Unlock()
 }
 
+// AddAllPrefix folds a loose counter map into the registry with every
+// name prefixed — the job service namespaces each job's counters by
+// "tenant/job#n/" so interleaved jobs stay separable in one registry.
+func (r *Registry) AddAllPrefix(prefix string, m map[string]int64) {
+	r.mu.Lock()
+	for k, v := range m {
+		r.counters[prefix+k] += v
+	}
+	r.mu.Unlock()
+}
+
 // Counter returns the current value of the named counter.
 func (r *Registry) Counter(name string) int64 {
 	r.mu.Lock()
@@ -281,6 +292,19 @@ func (t *Trace) AddInstant(name, cat string) {
 		name = t.section + " " + name
 	}
 	t.instants = append(t.instants, Instant{Name: name, Cat: cat, Time: t.clock})
+	t.mu.Unlock()
+}
+
+// AddInstantAt records a point event at an explicit absolute virtual
+// time, qualified by the active section. Service-mode job runs use it:
+// their events carry the service timeline's absolute times rather than
+// the trace's sequential clock.
+func (t *Trace) AddInstantAt(name, cat string, at float64) {
+	t.mu.Lock()
+	if t.section != "" {
+		name = t.section + " " + name
+	}
+	t.instants = append(t.instants, Instant{Name: name, Cat: cat, Time: at})
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,82 @@
+package sim
+
+// Lease is a job-scoped subset of the cluster's execution slots: for each
+// node, the slot indices (in [0, slotsPerNode)) the holder may run tasks
+// on during one phase. The multi-tenant job service carves the cluster
+// into leases so several jobs' phases interleave on one virtual timeline;
+// a phase scheduled under a lease touches no slot outside it.
+//
+// A lease covering every slot of every node is bit-identical to
+// unrestricted scheduling: the slot heap is built in the same node-major,
+// index-ascending order either way, so the greedy picker makes the same
+// sequence of placement decisions.
+type Lease struct {
+	// slots[n] lists the leased slot indices on node n, ascending. A nil
+	// entry means no slots on that node. len(slots) may be shorter than
+	// the cluster's node count.
+	slots [][]int32
+	total int
+}
+
+// NewLease builds a lease from per-node slot index lists. Each list must
+// be ascending; the lease keeps a reference (no copy).
+func NewLease(slots [][]int32) *Lease {
+	l := &Lease{slots: slots}
+	for _, s := range slots {
+		l.total += len(s)
+	}
+	return l
+}
+
+// Total returns the number of leased slots.
+func (l *Lease) Total() int { return l.total }
+
+// NodeSlots returns the leased slot indices on node n, ascending.
+func (l *Lease) NodeSlots(n NodeID) []int32 {
+	if int(n) >= len(l.slots) {
+		return nil
+	}
+	return l.slots[n]
+}
+
+// newSlotHeapLease builds the initial slot heap for a phase: the leased
+// slots when lease is non-nil, otherwise every slot of every available
+// node. Slots are appended node-ascending, index-ascending — the exact
+// order newSlotHeap uses — so a full lease yields a bit-identical heap.
+func (c *Cluster) newSlotHeapLease(slotsPerNode int, lease *Lease, down func(NodeID) bool) slotHeap {
+	if lease == nil {
+		return c.newSlotHeap(slotsPerNode, down)
+	}
+	h := make(slotHeap, 0, lease.total)
+	for n := range lease.slots {
+		if down != nil && down(NodeID(n)) {
+			continue
+		}
+		for _, idx := range lease.slots[n] {
+			h = append(h, slot{node: int32(n), idx: idx, free: 0})
+		}
+	}
+	if len(h) == 0 {
+		panic("sim: no leased slots available to schedule on (all down)")
+	}
+	h.init()
+	return h
+}
+
+// SchedulePhaseLease is SchedulePhaseAvail restricted to a slot lease:
+// when lease is non-nil, only the leased slots run tasks, so concurrent
+// jobs granted disjoint leases never contend for the same lane. A nil
+// lease admits the whole cluster.
+func (c *Cluster) SchedulePhaseLease(tasks []Task, slotsPerNode int, lease *Lease, down func(NodeID) bool) PhaseResult {
+	if slotsPerNode <= 0 {
+		slotsPerNode = 1
+	}
+	if len(tasks) == 0 {
+		return PhaseResult{}
+	}
+	h := c.newSlotHeapLease(slotsPerNode, lease, down)
+	if w := c.Workers(); w > 1 && len(tasks) > 1 {
+		return c.schedulePhaseParallel(tasks, slotsPerNode, w, h)
+	}
+	return c.schedulePhaseSerial(tasks, h)
+}

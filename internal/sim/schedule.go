@@ -265,13 +265,7 @@ func (c *Cluster) SchedulePhase(tasks []Task, slotsPerNode int) PhaseResult {
 // down admits every node; a down that rejects all nodes panics, because
 // a cluster with zero slots can never finish a phase.
 func (c *Cluster) SchedulePhaseAvail(tasks []Task, slotsPerNode int, down func(NodeID) bool) PhaseResult {
-	if slotsPerNode <= 0 {
-		slotsPerNode = 1
-	}
-	if w := c.Workers(); w > 1 && len(tasks) > 1 {
-		return c.schedulePhaseParallel(tasks, slotsPerNode, w, down)
-	}
-	return c.schedulePhaseSerial(tasks, slotsPerNode, down)
+	return c.SchedulePhaseLease(tasks, slotsPerNode, nil, down)
 }
 
 // newSlotHeap builds the initial heap with every available node's slots
@@ -313,13 +307,13 @@ func (r *PhaseResult) sortAssignments() {
 }
 
 // schedulePhaseSerial executes every task body inline in the event loop.
-func (c *Cluster) schedulePhaseSerial(tasks []Task, slotsPerNode int, down func(NodeID) bool) PhaseResult {
+// h is the initial slot heap (full cluster or a job's lease).
+func (c *Cluster) schedulePhaseSerial(tasks []Task, h slotHeap) PhaseResult {
 	res := PhaseResult{}
 	if len(tasks) == 0 {
 		return res
 	}
 	picker := newTaskPicker(tasks, c.cfg.Nodes)
-	h := c.newSlotHeap(slotsPerNode, down)
 	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))

@@ -110,13 +110,12 @@ func (l *lbHeap) min() float64 {
 // schedulePhaseParallel executes task bodies on up to `workers` goroutines
 // (one semaphore slot per running body), keeping results bit-identical to
 // schedulePhaseSerial.
-func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int, down func(NodeID) bool) PhaseResult {
+func (c *Cluster) schedulePhaseParallel(tasks []Task, slotsPerNode, workers int, h slotHeap) PhaseResult {
 	res := PhaseResult{}
 	if len(tasks) == 0 {
 		return res
 	}
 	picker := newTaskPicker(tasks, c.cfg.Nodes)
-	h := c.newSlotHeap(slotsPerNode, down)
 	totalSlots := len(h)
 	res.Waves = (len(tasks) + totalSlots - 1) / totalSlots
 	res.Assignments = make([]Assignment, 0, len(tasks))
