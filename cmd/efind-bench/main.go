@@ -12,6 +12,14 @@
 //	efind-bench -batch             # batched multi-get vs per-key lookups
 //	efind-bench -list              # list experiment IDs
 //	efind-bench -chaos seed=7      # chaos ablation under fault schedule 7
+//	efind-bench -calibrate -quick -fig fstore-sweep   # measured storage costs
+//
+// The -calibrate mode builds a real mmap-backed snapshot (internal/fstore),
+// measures its write throughput, cold- and warm-mapping lookup latencies,
+// and index-only probe latency on this machine, prints the measurements,
+// and feeds the measured f (store-and-retrieve cost per byte) and T_j
+// (per-lookup serve time) into the cost model for the experiments that
+// follow — replacing the stipulated constants of sim.DefaultConfig.
 //
 // The -chaos mode runs the seeded chaos ablation (node crash, stragglers
 // with speculative backups, index outage with degradation to baseline)
@@ -35,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	"efind/internal/experiments"
+	"efind/internal/fstore"
 	"efind/internal/obs"
 )
 
@@ -58,6 +68,8 @@ func main() {
 		gate       = flag.String("gate", "", "baseline BENCH JSON to gate against; exit 1 on regression beyond -gate-tol")
 		gateTol    = flag.Float64("gate-tol", 0.10, "per-stage virtual-time regression budget for -gate (0.10 = +10%)")
 		chaosSeed  = flag.String("chaos", "", "run the chaos ablation under this fault-schedule seed (seed=N or N)")
+		calibrate  = flag.Bool("calibrate", false, "measure real snapshot store latencies (write, cold mmap read, warm lookups, index-only probes) on this machine and feed the measured f and T_j into the cost model")
+		calOut     = flag.String("calibrate-out", "", "with -calibrate, also write the measured calibration profile as JSON to this file")
 	)
 	flag.Parse()
 
@@ -108,6 +120,42 @@ func main() {
 	if *traceOut != "" || *profileOut != "" || *gate != "" {
 		tr = obs.NewTrace()
 		experiments.SetTrace(tr)
+	}
+
+	if *calibrate {
+		cal, err := fstore.Calibrate(os.TempDir(), fstore.DefaultCalibrateConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-bench: calibration failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("storage calibration (mmap=%v): %s\n\n", fstore.MmapAvailable(), cal)
+		experiments.SetCalibration(&cal)
+		if tr != nil {
+			// Wall-clock measurements, so deliberately NOT named *.vms /
+			// *.tps: they are recorded in the profile for inspection but
+			// never gated — machine variance is the signal here, not a
+			// regression.
+			tr.Metrics.SetGauge("calibrate.f.s_per_byte", cal.F)
+			tr.Metrics.SetGauge("calibrate.tj.cold.s", cal.TjCold)
+			tr.Metrics.SetGauge("calibrate.tj.warm.s", cal.TjWarm)
+			tr.Metrics.SetGauge("calibrate.tj.probe.s", cal.TjProbe)
+			tr.Metrics.SetGauge("calibrate.write.bytes_per_s", cal.WriteBytesPerSec)
+			tr.Metrics.SetGauge("calibrate.read.bytes_per_s", cal.ReadBytesPerSec)
+		}
+		if *calOut != "" {
+			data, err := json.MarshalIndent(struct {
+				MmapAvailable bool `json:"mmap_available"`
+				fstore.Calibration
+			}{fstore.MmapAvailable(), cal}, "", " ")
+			if err == nil {
+				err = os.WriteFile(*calOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "efind-bench: writing %s: %v\n", *calOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote calibration profile to %s\n\n", *calOut)
+		}
 	}
 
 	fmt.Printf("EFind evaluation harness — %d experiment(s) at %s scale\n\n", len(run), scaleName)

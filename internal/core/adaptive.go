@@ -394,7 +394,11 @@ func (rt *Runtime) reducePhaseAdaptive(conf *IndexJobConf, total *JobResult, mai
 	shards := append([][]dfs.Record(nil), sub1.Shards...)
 	homes := append([]sim.NodeID(nil), sub1.Homes...)
 	for _, ch := range input.Chunks {
-		shards = append(shards, ch.Records)
+		recs, err := ch.Records()
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, recs)
 		home := sim.NodeID(0)
 		if len(ch.Replicas) > 0 {
 			home = ch.Replicas[0]

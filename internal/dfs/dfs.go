@@ -7,9 +7,12 @@ package dfs
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"efind/internal/fstore"
 	"efind/internal/sim"
 )
 
@@ -24,9 +27,16 @@ type Record struct {
 // small framing overhead, mirroring SequenceFile framing).
 func (r Record) Size() int { return len(r.Key) + len(r.Value) + 8 }
 
-// Chunk is one replicated block of a file.
+// Chunk is one replicated block of a file. Record payloads live either
+// in memory (the default) or in the file's fstore snapshot when the
+// namespace has a backing directory; metadata (size, placement, shard)
+// is always resident.
 type Chunk struct {
-	Records  []Record
+	recs []Record // resident payload; nil when file-backed
+	n    int      // record count, valid under both backings
+	snap *fstore.Snapshot
+	slot int // this chunk's slot in snap
+
 	Bytes    int
 	Replicas []sim.NodeID
 	// Shard is the producing reducer/shard index for files written with
@@ -37,11 +47,46 @@ type Chunk struct {
 	Shard int
 }
 
+// NumRecords returns the chunk's record count without touching payload
+// bytes (file-backed, this is slot-section metadata only).
+func (c *Chunk) NumRecords() int { return c.n }
+
+// Records returns the chunk's records. In-memory chunks return the
+// resident slice; file-backed chunks decode it from the snapshot's data
+// section, and a snapshot that fails its decode checks surfaces an error
+// (wrapping fstore.ErrCorrupt) rather than ever yielding wrong records —
+// unlike an index snapshot there is no resident copy to rebuild from.
+func (c *Chunk) Records() ([]Record, error) {
+	if c.snap == nil {
+		return c.recs, nil
+	}
+	flat, err := c.snap.Values(c.slot)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat) != 2*c.n {
+		return nil, fmt.Errorf("%w: chunk holds %d strings, want %d for %d records",
+			fstore.ErrCorrupt, len(flat), 2*c.n, c.n)
+	}
+	out := make([]Record, c.n)
+	for i := range out {
+		out[i] = Record{Key: flat[2*i], Value: flat[2*i+1]}
+	}
+	return out, nil
+}
+
 // File is an immutable, chunked, replicated file.
 type File struct {
 	Name   string
 	Chunks []*Chunk
+
+	snap *fstore.Snapshot // non-nil when the payload is file-backed
+	path string           // snapshot file, for Remove cleanup
 }
+
+// FileBacked reports whether the file's record payloads live in an
+// fstore snapshot rather than in memory.
+func (f *File) FileBacked() bool { return f.snap != nil }
 
 // Bytes returns the total payload size of the file.
 func (f *File) Bytes() int {
@@ -56,17 +101,23 @@ func (f *File) Bytes() int {
 func (f *File) Records() int {
 	total := 0
 	for _, c := range f.Chunks {
-		total += len(c.Records)
+		total += c.n
 	}
 	return total
 }
 
 // All returns every record of the file in chunk order. Intended for tests
-// and result collection, not for the data path.
+// and result collection, not for the data path; a file-backed chunk that
+// fails its decode checks panics here (the data path reads through
+// Chunk.Records and gets the error instead).
 func (f *File) All() []Record {
 	out := make([]Record, 0, f.Records())
 	for _, c := range f.Chunks {
-		out = append(out, c.Records...)
+		recs, err := c.Records()
+		if err != nil {
+			panic(fmt.Sprintf("dfs: reading %s: %v", f.Name, err))
+		}
+		out = append(out, recs...)
 	}
 	return out
 }
@@ -82,6 +133,12 @@ type FS struct {
 	ChunkTarget int
 	// Replication is the replica count per chunk (HDFS default 3).
 	Replication int
+
+	// backing, when set, makes newly created files persist their record
+	// payloads into fstore snapshots under that directory (see SetBacking).
+	backing string
+	opts    fstore.Options
+	seq     int
 }
 
 // New creates an empty file system on the cluster with the paper's
@@ -98,6 +155,111 @@ func New(cluster *sim.Cluster) *FS {
 // Cluster returns the cluster this file system is placed on.
 func (fs *FS) Cluster() *sim.Cluster { return fs.cluster }
 
+// SetBacking switches the namespace to file-backed mode: every file
+// created from here on stores its record payloads in one fstore snapshot
+// per file under dir, and chunks decode records from the mapped data
+// section on demand. Files created earlier stay in memory. The chunking,
+// placement, and metadata are identical either way, so jobs behave
+// bit-identically modulo wall-clock time.
+func (fs *FS) SetBacking(dir string) error {
+	return fs.SetBackingOpts(dir, fstore.Options{})
+}
+
+// SetBackingOpts is SetBacking with explicit snapshot open options
+// (tests force the NoMmap fallback through it).
+func (fs *FS) SetBackingOpts(dir string, opts fstore.Options) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fs.backing, fs.opts = dir, opts
+	return nil
+}
+
+// Backed reports whether newly created files are file-backed.
+func (fs *FS) Backed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.backing != ""
+}
+
+// Close releases every file-backed snapshot mapping. The namespace is
+// done after Close: file-backed payloads are no longer readable. Closing
+// an all-in-memory namespace is a no-op.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var firstErr error
+	for _, f := range fs.files {
+		if f.snap == nil {
+			continue
+		}
+		if err := f.snap.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.snap = nil
+		for _, c := range f.Chunks {
+			c.snap = nil
+		}
+	}
+	return firstErr
+}
+
+// persist renders f's chunk payloads into one snapshot file and rebinds
+// every chunk to it, dropping the resident slices. Caller holds the lock
+// and has not yet registered f in the namespace.
+func (fs *FS) persist(f *File) error {
+	b := fstore.NewBuilder()
+	for i, c := range f.Chunks {
+		flat := make([]string, 0, 2*len(c.recs))
+		for _, r := range c.recs {
+			flat = append(flat, r.Key, r.Value)
+		}
+		b.Add(chunkKey(i), int64(c.Shard), flat...)
+	}
+	fs.seq++
+	path := filepath.Join(fs.backing, fmt.Sprintf("%s-%06d.fmc1", sanitizeName(f.Name), fs.seq))
+	if err := b.WriteFile(path); err != nil {
+		return err
+	}
+	snap, err := fstore.Open(path, fs.opts)
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("dfs: reopening just-written %q: %w", f.Name, err)
+	}
+	for i, c := range f.Chunks {
+		slot, ok := snap.Find(chunkKey(i))
+		if !ok {
+			snap.Close()
+			os.Remove(path)
+			return fmt.Errorf("dfs: chunk %d of %q missing from its snapshot", i, f.Name)
+		}
+		c.snap, c.slot, c.recs = snap, slot, nil
+	}
+	f.snap, f.path = snap, path
+	return nil
+}
+
+// chunkKey names chunk i inside its file's snapshot; zero-padding keeps
+// slot order equal to chunk order.
+func chunkKey(i int) string { return fmt.Sprintf("c%08d", i) }
+
+// sanitizeName makes a DFS file name safe as a filesystem name component.
+func sanitizeName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
 // Create writes a new file from records, splitting into chunks of about
 // ChunkTarget bytes and placing Replication replicas per chunk. It returns
 // an error if the name already exists.
@@ -110,7 +272,7 @@ func (fs *FS) Create(name string, records []Record) (*File, error) {
 	f := &File{Name: name}
 	cur := &Chunk{Shard: -1}
 	flush := func() {
-		if len(cur.Records) == 0 {
+		if len(cur.recs) == 0 {
 			return
 		}
 		cur.Replicas = fs.cluster.PlaceReplicas(fs.Replication)
@@ -118,7 +280,8 @@ func (fs *FS) Create(name string, records []Record) (*File, error) {
 		cur = &Chunk{Shard: -1}
 	}
 	for _, r := range records {
-		cur.Records = append(cur.Records, r)
+		cur.recs = append(cur.recs, r)
+		cur.n++
 		cur.Bytes += r.Size()
 		if cur.Bytes >= fs.ChunkTarget {
 			flush()
@@ -129,6 +292,11 @@ func (fs *FS) Create(name string, records []Record) (*File, error) {
 		// An empty file still has one (empty) chunk so jobs over it run a
 		// well-defined zero-record map task.
 		f.Chunks = []*Chunk{{Shard: -1, Replicas: fs.cluster.PlaceReplicas(fs.Replication)}}
+	}
+	if fs.backing != "" {
+		if err := fs.persist(f); err != nil {
+			return nil, err
+		}
 	}
 	fs.files[name] = f
 	return f, nil
@@ -158,19 +326,25 @@ func (fs *FS) CreateSharded(name string, shards [][]Record, homes []sim.NodeID) 
 		replicas := append([]sim.NodeID{homes[i]}, otherNodes(fs.cluster, homes[i], fs.Replication-1)...)
 		cur := &Chunk{Shard: i, Replicas: replicas}
 		for _, r := range recs {
-			cur.Records = append(cur.Records, r)
+			cur.recs = append(cur.recs, r)
+			cur.n++
 			cur.Bytes += r.Size()
 			if cur.Bytes >= fs.ChunkTarget {
 				f.Chunks = append(f.Chunks, cur)
 				cur = &Chunk{Shard: i, Replicas: replicas}
 			}
 		}
-		if len(cur.Records) > 0 {
+		if len(cur.recs) > 0 {
 			f.Chunks = append(f.Chunks, cur)
 		}
 	}
 	if len(f.Chunks) == 0 {
 		f.Chunks = []*Chunk{{Shard: -1, Replicas: fs.cluster.PlaceReplicas(fs.Replication)}}
+	}
+	if fs.backing != "" {
+		if err := fs.persist(f); err != nil {
+			return nil, err
+		}
 	}
 	fs.files[name] = f
 	return f, nil
@@ -196,14 +370,29 @@ func (fs *FS) Open(name string) (*File, error) {
 	return f, nil
 }
 
-// Remove deletes the named file; removing a missing file is an error.
+// Remove deletes the named file; removing a missing file is an error. A
+// file-backed file's snapshot mapping is released and its on-disk file
+// deleted, so intermediate files cleaned up between jobs do not leak
+// mappings or disk space.
 func (fs *FS) Remove(name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.files[name]; !ok {
+	f, ok := fs.files[name]
+	if !ok {
 		return fmt.Errorf("dfs: file %q does not exist", name)
 	}
 	delete(fs.files, name)
+	if f.snap != nil {
+		err := f.snap.Close()
+		f.snap = nil
+		for _, c := range f.Chunks {
+			c.snap = nil
+		}
+		if rerr := os.Remove(f.path); err == nil {
+			err = rerr
+		}
+		return err
+	}
 	return nil
 }
 

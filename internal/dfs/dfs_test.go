@@ -87,7 +87,7 @@ func TestChunkSplitting(t *testing.T) {
 		if len(c.Replicas) != fs.Replication {
 			t.Fatalf("chunk has %d replicas, want %d", len(c.Replicas), fs.Replication)
 		}
-		total += len(c.Records)
+		total += c.NumRecords()
 	}
 	if total != 50 {
 		t.Fatalf("records lost in chunking: %d != 50", total)
@@ -204,10 +204,14 @@ func TestShardedChunkingPreservesShards(t *testing.T) {
 			if c.Shard < -1 || c.Shard >= len(sizes) {
 				return false
 			}
-			if c.Shard >= 0 && len(c.Records) > 0 && c.Replicas[0] != homes[c.Shard] {
+			if c.Shard >= 0 && c.NumRecords() > 0 && c.Replicas[0] != homes[c.Shard] {
 				return false
 			}
-			for _, r := range c.Records {
+			recs, err := c.Records()
+			if err != nil {
+				return false
+			}
+			for _, r := range recs {
 				got[c.Shard] = append(got[c.Shard], r.Value)
 			}
 		}

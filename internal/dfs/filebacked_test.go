@@ -1,0 +1,195 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"efind/internal/fstore"
+	"efind/internal/sim"
+)
+
+func makeRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: fmt.Sprintf("k%05d", i), Value: fmt.Sprintf("value-%d", i)}
+	}
+	return recs
+}
+
+func newBackedFS(t *testing.T, opts fstore.Options) *FS {
+	t.Helper()
+	fs := New(sim.NewCluster(sim.DefaultConfig()))
+	fs.ChunkTarget = 512
+	if err := fs.SetBackingOpts(t.TempDir(), opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+// TestFileBackedMatchesInMemory creates the same file in a plain and a
+// file-backed namespace and asserts chunking, metadata, and every record
+// agree exactly.
+func TestFileBackedMatchesInMemory(t *testing.T) {
+	for _, opts := range []fstore.Options{{}, {NoMmap: true}} {
+		recs := makeRecords(100)
+		mem := New(sim.NewCluster(sim.DefaultConfig()))
+		mem.ChunkTarget = 512
+		mf, err := mem.Create("f", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := newBackedFS(t, opts)
+		ff, err := fb.Create("f", recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ff.FileBacked() || mf.FileBacked() {
+			t.Fatalf("backing flags wrong: mem=%v file=%v", mf.FileBacked(), ff.FileBacked())
+		}
+		if len(ff.Chunks) != len(mf.Chunks) || ff.Bytes() != mf.Bytes() || ff.Records() != mf.Records() {
+			t.Fatalf("shape differs: %d/%d chunks, %d/%d bytes, %d/%d records",
+				len(ff.Chunks), len(mf.Chunks), ff.Bytes(), mf.Bytes(), ff.Records(), mf.Records())
+		}
+		for i := range ff.Chunks {
+			fc, mc := ff.Chunks[i], mf.Chunks[i]
+			if fc.Bytes != mc.Bytes || fc.Shard != mc.Shard || fc.NumRecords() != mc.NumRecords() {
+				t.Fatalf("chunk %d metadata differs", i)
+			}
+		}
+		got, want := ff.All(), mf.All()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFileBackedSharded(t *testing.T) {
+	fb := newBackedFS(t, fstore.Options{})
+	shards := [][]Record{makeRecords(5), nil, makeRecords(3)}
+	homes := []sim.NodeID{1, 2, 3}
+	f, err := fb.CreateSharded("s", shards, homes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FileBacked() {
+		t.Fatal("sharded file should be file-backed")
+	}
+	if f.Records() != 8 {
+		t.Fatalf("records = %d", f.Records())
+	}
+	for _, c := range f.Chunks {
+		recs, err := c.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != c.NumRecords() {
+			t.Fatalf("chunk decode length %d != %d", len(recs), c.NumRecords())
+		}
+	}
+}
+
+func TestFileBackedEmptyFile(t *testing.T) {
+	fb := newBackedFS(t, fstore.Options{})
+	f, err := fb.Create("empty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Records() != 0 || len(f.All()) != 0 {
+		t.Fatalf("empty file: %d records", f.Records())
+	}
+}
+
+func TestRemoveDeletesSnapshotAndMapping(t *testing.T) {
+	base := fstore.OpenHandles()
+	fb := newBackedFS(t, fstore.Options{})
+	if _, err := fb.Create("gone", makeRecords(10)); err != nil {
+		t.Fatal(err)
+	}
+	if fstore.OpenHandles() != base+1 {
+		t.Fatalf("handles = %d, want %d", fstore.OpenHandles(), base+1)
+	}
+	if err := fb.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if fstore.OpenHandles() != base {
+		t.Fatalf("handle leaked after Remove: %d vs %d", fstore.OpenHandles(), base)
+	}
+	names, err := filepath.Glob(filepath.Join(fb.backing, "*.fmc1"))
+	if err != nil || len(names) != 0 {
+		t.Fatalf("snapshot files left behind: %v (%v)", names, err)
+	}
+}
+
+func TestFSCloseReleasesEveryMapping(t *testing.T) {
+	base := fstore.OpenHandles()
+	fb := newBackedFS(t, fstore.Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := fb.Create(fmt.Sprintf("f%d", i), makeRecords(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fstore.OpenHandles() != base+3 {
+		t.Fatalf("handles = %d, want %d", fstore.OpenHandles(), base+3)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fstore.OpenHandles() != base {
+		t.Fatalf("handles leaked after Close: %d vs %d", fstore.OpenHandles(), base)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal("second Close must be a no-op, got", err)
+	}
+}
+
+// TestCorruptChunkSurfacesError overwrites a live snapshot's sections
+// with garbage (the mapping is MAP_SHARED, so the pages change under the
+// reader) and asserts record reads fail with ErrCorrupt — a DFS chunk
+// has no in-memory source of truth, so detection, not silent garbage, is
+// the contract.
+func TestCorruptChunkSurfacesError(t *testing.T) {
+	fb := newBackedFS(t, fstore.Options{})
+	f, err := fb.Create("c", makeRecords(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := f.path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the 48-byte header, trash slots and data: slot offsets become
+	// 0xFFFFFFFF, far outside the data section. Write in place (no
+	// truncation) so the live mapping never shrinks mid-test.
+	for i := 48; i < len(data); i++ {
+		data[i] = 0xff
+	}
+	w, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sawErr := false
+	for _, c := range f.Chunks {
+		if _, err := c.Records(); err != nil {
+			if !errors.Is(err, fstore.ErrCorrupt) {
+				t.Fatalf("corruption error does not wrap ErrCorrupt: %v", err)
+			}
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("no chunk reported corruption")
+	}
+}

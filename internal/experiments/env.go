@@ -5,6 +5,7 @@ import (
 
 	"efind/internal/core"
 	"efind/internal/dfs"
+	"efind/internal/fstore"
 	"efind/internal/mapreduce"
 	"efind/internal/obs"
 	"efind/internal/sim"
@@ -19,6 +20,18 @@ var obsTrace *obs.Trace
 // SetTrace attaches (or, with nil, detaches) the trace future labs
 // record into. Call it once before running experiments.
 func SetTrace(t *obs.Trace) { obsTrace = t }
+
+// calibration, when set, replaces the cost model's stipulated storage
+// constants with values measured on this machine (efind-bench
+// -calibrate): the paper's f term (DFS store-and-retrieve cost per byte)
+// becomes the measured snapshot write + cold-read cost, and the
+// synthetic index's serve time T_j becomes the measured warm lookup
+// latency of the mmap-backed store.
+var calibration *fstore.Calibration
+
+// SetCalibration installs (or, with nil, removes) measured storage costs
+// for every lab created afterwards.
+func SetCalibration(c *fstore.Calibration) { calibration = c }
 
 // section labels subsequent trace stages, instants, and index-profile
 // rows with a run context (e.g. "11f/l=10/base"); no-op without a trace.
@@ -54,6 +67,9 @@ func newLab() *lab {
 	// hundreds to thousands of seconds against ~1 s task launches; the
 	// simulated jobs run for ~1 s, so startup scales to milliseconds.
 	cfg.TaskStartup = 0.005
+	if calibration != nil && calibration.F > 0 {
+		cfg.DFSWriteCost = calibration.F
+	}
 	cluster := sim.NewCluster(cfg)
 	fs := dfs.New(cluster)
 	fs.ChunkTarget = 32 << 10

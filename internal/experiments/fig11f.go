@@ -18,6 +18,9 @@ func synScaleConfig(scale Scale, l int) workloads.SyntheticConfig {
 	cfg.KeyDomain = scale.SynKeyDomain
 	cfg.IndexValueSize = l
 	cfg.ValueSize = 256
+	if calibration != nil && calibration.TjWarm > 0 {
+		cfg.ServeTime = calibration.TjWarm
+	}
 	return cfg
 }
 

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"efind/internal/obs"
+)
+
+// TestFStoreSweepIdentity runs the backend comparison at a trimmed quick
+// scale and pins the acceptance contract: the file-backed leg must
+// produce exactly the in-memory answer (virtual time, output
+// fingerprint, and lookup/miss counters) for every value size, and the
+// deterministic makespan gauges must be emitted for both legs.
+func TestFStoreSweepIdentity(t *testing.T) {
+	tr := obs.NewTrace()
+	SetTrace(tr)
+	defer SetTrace(nil)
+
+	s := QuickScale()
+	s.SynRecords = 2000
+	s.SynKeyDomain = 1000
+	s.SynSizes = []int{1024}
+	tbl, err := FStoreSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(tbl.Rows))
+	}
+	ident, ok := tbl.Cell("l=1024B", "identical")
+	if !ok {
+		t.Fatal("identical column missing")
+	}
+	if ident != 1 {
+		t.Fatalf("file-backed leg diverged from in-memory: identical = %v", ident)
+	}
+	mem, okM := tbl.Cell("l=1024B", "mem")
+	file, okF := tbl.Cell("l=1024B", "file")
+	if !okM || !okF || mem <= 0 || file <= 0 {
+		t.Fatalf("runtime cells missing or non-positive: mem=%v file=%v", mem, file)
+	}
+	if mem != file {
+		t.Fatalf("virtual runtimes differ: mem=%v file=%v", mem, file)
+	}
+
+	gauges := map[string]float64{}
+	for _, g := range tr.Metrics.Gauges() {
+		gauges[g.Name] = g.Value
+	}
+	for _, name := range []string{"fstore.l1024.mem.vms", "fstore.l1024.file.vms"} {
+		if gauges[name] <= 0 {
+			t.Errorf("gauge %q missing or non-positive: %v", name, gauges[name])
+		}
+	}
+}

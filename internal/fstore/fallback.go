@@ -1,0 +1,29 @@
+package fstore
+
+import (
+	"io"
+	"os"
+)
+
+// readFallback loads the whole file into a heap buffer — the read path
+// for platforms without mmap and for Options.NoMmap. Same bytes, same
+// validation, no page-cache-backed lazy loading.
+func readFallback(f *os.File, size int) (mapping, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, err
+	}
+	return &heapMapping{b: b}, nil
+}
+
+// heapMapping serves snapshot bytes from an ordinary allocation.
+type heapMapping struct {
+	b []byte
+}
+
+func (m *heapMapping) bytes() []byte { return m.b }
+
+func (m *heapMapping) close() error {
+	m.b = nil
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package fstore is a persistent, mmap-backed snapshot store — the
+// file-backed substrate behind kvstore partitions and dfs chunk payloads.
+// It implements the FMC1 format: a throwaway, rebuildable cache layout
+// optimized for fast mapped reads and index-only filtering, NOT a durable
+// primary store (writes are whole-snapshot rewrites; corruption is
+// detected by checksums and answered by rebuilding from the source of
+// truth).
+//
+// On-disk layout (all integers little-endian):
+//
+//	header (48 bytes)
+//	  [0:4]    magic "FMC1"
+//	  [4:8]    version (1)
+//	  [8:12]   key size K (bytes per slot key, NUL-padded)
+//	  [12:16]  entry count N
+//	  [16:20]  data section length D
+//	  [20:24]  CRC32 (IEEE) of the slot section
+//	  [24:28]  CRC32 (IEEE) of the data section
+//	  [28:44]  reserved (zero)
+//	  [44:48]  CRC32 (IEEE) of header bytes [0:44]
+//	slot section (N × (K+20) bytes), sorted strictly ascending by key
+//	  key      [K]byte, NUL-padded
+//	  revision int64 (caller-supplied staleness marker)
+//	  dataOff  uint32 (offset of the entry's values in the data section)
+//	  dataLen  uint32 (byte length of the entry's values)
+//	  valCount uint32 (number of values)
+//	data section (D bytes)
+//	  per entry: valCount × (uvarint length + raw value bytes)
+//
+// The fixed-size slot section answers key-presence and result-size
+// questions (index-only filtering) without touching the variable-length
+// data section; value materialization walks only the entry's data range.
+// uint32 offsets cap a snapshot below 4 GiB — shard into more snapshots
+// (kvstore writes one per partition) rather than growing one file.
+package fstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Format constants.
+const (
+	Magic      = "FMC1"
+	Version    = 1
+	headerSize = 48
+	slotExtra  = 20 // revision + dataOff + dataLen + valCount
+	// MaxKeySize bounds the fixed slot key width; wider keys would turn
+	// the "fixed-size" slot section into a data section of its own.
+	MaxKeySize = 1024
+	// maxSnapshotBytes is the uint32-offset file size cap (< 4 GiB).
+	maxSnapshotBytes = 1<<32 - 1
+)
+
+// ErrCorrupt marks a snapshot whose bytes fail validation: bad magic or
+// version, checksum mismatch, out-of-bounds sections, unsorted keys, or
+// an undecodable data range. Callers treat it as "the cache is gone" and
+// rebuild the snapshot from the source of truth.
+var ErrCorrupt = errors.New("fstore: snapshot corrupt")
+
+// Builder accumulates entries and writes one snapshot file. Not safe for
+// concurrent use; build, write, discard.
+type Builder struct {
+	entries []entry
+	keyLen  int
+	err     error
+}
+
+type entry struct {
+	key    string
+	rev    int64
+	values []string
+}
+
+// NewBuilder returns an empty builder. The slot key width is derived
+// from the longest key added.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add appends one entry. Keys must be unique, NUL-free, and at most
+// MaxKeySize bytes; violations surface from WriteFile (uniqueness) or
+// immediately poison the builder (shape), so loading loops need no
+// per-call error handling.
+func (b *Builder) Add(key string, revision int64, values ...string) {
+	if b.err != nil {
+		return
+	}
+	if len(key) == 0 || len(key) > MaxKeySize {
+		b.err = fmt.Errorf("fstore: key length %d outside [1,%d]", len(key), MaxKeySize)
+		return
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			b.err = fmt.Errorf("fstore: key %q contains NUL (keys are NUL-padded on disk)", key)
+			return
+		}
+	}
+	if len(key) > b.keyLen {
+		b.keyLen = len(key)
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	b.entries = append(b.entries, entry{key: key, rev: revision, values: vals})
+}
+
+// Len returns the number of entries added so far.
+func (b *Builder) Len() int { return len(b.entries) }
+
+// WriteFile encodes the snapshot and writes it atomically (temp file in
+// the same directory, then rename), so readers never observe a partially
+// written snapshot.
+func (b *Builder) WriteFile(path string) error {
+	data, err := b.encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".fstore-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// encode renders the snapshot bytes: sorted slots, packed data section,
+// checksummed header.
+func (b *Builder) encode() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	entries := make([]entry, len(b.entries))
+	copy(entries, b.entries)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	for i := 1; i < len(entries); i++ {
+		if entries[i].key == entries[i-1].key {
+			return nil, fmt.Errorf("fstore: duplicate key %q", entries[i].key)
+		}
+	}
+	keySize := b.keyLen
+	if keySize == 0 {
+		keySize = 1 // empty snapshots still declare a valid key width
+	}
+	slotSize := keySize + slotExtra
+
+	var data []byte
+	var varintBuf [binary.MaxVarintLen64]byte
+	slots := make([]byte, len(entries)*slotSize)
+	for i, e := range entries {
+		off := len(data)
+		for _, v := range e.values {
+			n := binary.PutUvarint(varintBuf[:], uint64(len(v)))
+			data = append(data, varintBuf[:n]...)
+			data = append(data, v...)
+		}
+		s := slots[i*slotSize:]
+		copy(s[:keySize], e.key) // remainder stays NUL
+		binary.LittleEndian.PutUint64(s[keySize:], uint64(e.rev))
+		binary.LittleEndian.PutUint32(s[keySize+8:], uint32(off))
+		binary.LittleEndian.PutUint32(s[keySize+12:], uint32(len(data)-off))
+		binary.LittleEndian.PutUint32(s[keySize+16:], uint32(len(e.values)))
+	}
+	total := headerSize + len(slots) + len(data)
+	if total > maxSnapshotBytes {
+		return nil, fmt.Errorf("fstore: snapshot would be %d bytes, above the 4 GiB format limit — shard into more snapshots", total)
+	}
+
+	out := make([]byte, headerSize, total)
+	copy(out[0:4], Magic)
+	binary.LittleEndian.PutUint32(out[4:], Version)
+	binary.LittleEndian.PutUint32(out[8:], uint32(keySize))
+	binary.LittleEndian.PutUint32(out[12:], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(out[16:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(out[20:], crc32.ChecksumIEEE(slots))
+	binary.LittleEndian.PutUint32(out[24:], crc32.ChecksumIEEE(data))
+	binary.LittleEndian.PutUint32(out[44:], crc32.ChecksumIEEE(out[0:44]))
+	out = append(out, slots...)
+	out = append(out, data...)
+	return out, nil
+}

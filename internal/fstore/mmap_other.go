@@ -1,0 +1,22 @@
+//go:build !unix
+
+package fstore
+
+import "os"
+
+// mmapAvailable reports whether this platform serves snapshots via mmap.
+const mmapAvailable = false
+
+// mapping is one opened snapshot's byte source; without mmap support it
+// is always a heap buffer read through plain file I/O.
+type mapping interface {
+	bytes() []byte
+	close() error
+}
+
+// mapFile falls back to plain file reads on platforms without mmap, so
+// the store works (slower, RAM-bound) everywhere the CI matrix runs.
+func mapFile(f *os.File, size int, noMmap bool) (mapping, bool, error) {
+	m, err := readFallback(f, size)
+	return m, false, err
+}

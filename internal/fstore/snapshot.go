@@ -1,0 +1,267 @@
+package fstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Options configures how a snapshot is opened.
+type Options struct {
+	// NoMmap forces the plain file-read fallback even where mmap is
+	// available, so both read paths are testable on any platform.
+	NoMmap bool
+}
+
+// openHandles counts snapshots opened and not yet closed, across the
+// process. Leak tests assert it returns to its starting value after
+// engine/store shutdown.
+var openHandles atomic.Int64
+
+// OpenHandles returns the number of currently open snapshots (mapped or
+// fallback-loaded).
+func OpenHandles() int64 { return openHandles.Load() }
+
+// MmapAvailable reports whether this platform serves snapshots via mmap
+// (false means every snapshot uses the plain file-read fallback).
+func MmapAvailable() bool { return mmapAvailable }
+
+// Snapshot is one opened, validated FMC1 file. All reads go through the
+// mapping (or the fallback buffer); the snapshot is immutable and safe
+// for concurrent readers. Close releases the mapping.
+type Snapshot struct {
+	path    string
+	m       mapping
+	data    []byte // full file bytes, backed by m
+	keySize int
+	n       int
+	slots   []byte // slot section view
+	vals    []byte // data section view
+	mapped  bool   // true when served by a real mmap
+	closed  atomic.Bool
+}
+
+// Open maps the snapshot at path and validates it end to end: magic,
+// version, header checksum, section bounds, slot- and data-section
+// checksums, and slot key ordering. Any failure returns an error
+// wrapping ErrCorrupt (except I/O errors opening the file itself), so
+// callers can distinguish "rebuild the cache" from "the disk is gone".
+func Open(path string, opts Options) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() > maxSnapshotBytes {
+		f.Close()
+		return nil, corruptf("file is %d bytes, above the 4 GiB format limit", fi.Size())
+	}
+	m, mapped, err := mapFile(f, int(fi.Size()), opts.NoMmap)
+	// The file descriptor is only needed to establish the mapping (or
+	// read the fallback buffer); the mapping outlives it either way.
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		if m != nil {
+			_ = m.close()
+		}
+		return nil, err
+	}
+	s := &Snapshot{path: path, m: m, data: m.bytes(), mapped: mapped}
+	if err := s.validate(); err != nil {
+		_ = m.close()
+		return nil, err
+	}
+	openHandles.Add(1)
+	return s, nil
+}
+
+// corruptf builds an ErrCorrupt-wrapping error.
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// validate checks the whole snapshot once at open time. After it passes,
+// read paths still bounds-check every decode (a defense against the file
+// being rewritten underneath a live mapping), but never re-hash.
+func (s *Snapshot) validate() error {
+	d := s.data
+	if len(d) < headerSize {
+		return corruptf("file is %d bytes, smaller than the %d-byte header", len(d), headerSize)
+	}
+	if string(d[0:4]) != Magic {
+		return corruptf("bad magic %q", d[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(d[4:]); v != Version {
+		return corruptf("unsupported version %d", v)
+	}
+	if got, want := crc32.ChecksumIEEE(d[0:44]), binary.LittleEndian.Uint32(d[44:]); got != want {
+		return corruptf("header checksum mismatch (got %08x, stored %08x)", got, want)
+	}
+	keySize := int(binary.LittleEndian.Uint32(d[8:]))
+	n := int(binary.LittleEndian.Uint32(d[12:]))
+	dataLen := int(binary.LittleEndian.Uint32(d[16:]))
+	if keySize < 1 || keySize > MaxKeySize {
+		return corruptf("key size %d outside [1,%d]", keySize, MaxKeySize)
+	}
+	slotSize := keySize + slotExtra
+	slotBytes := uint64(n) * uint64(slotSize)
+	if uint64(headerSize)+slotBytes+uint64(dataLen) != uint64(len(d)) {
+		return corruptf("sections (%d slots × %d + %d data) do not fill the %d-byte file", n, slotSize, dataLen, len(d))
+	}
+	slots := d[headerSize : headerSize+int(slotBytes)]
+	vals := d[headerSize+int(slotBytes):]
+	if got, want := crc32.ChecksumIEEE(slots), binary.LittleEndian.Uint32(d[20:]); got != want {
+		return corruptf("slot section checksum mismatch (got %08x, stored %08x)", got, want)
+	}
+	if got, want := crc32.ChecksumIEEE(vals), binary.LittleEndian.Uint32(d[24:]); got != want {
+		return corruptf("data section checksum mismatch (got %08x, stored %08x)", got, want)
+	}
+	s.keySize, s.n, s.slots, s.vals = keySize, n, slots, vals
+	for i := 1; i < n; i++ {
+		if bytes.Compare(s.slotKey(i-1), s.slotKey(i)) >= 0 {
+			return corruptf("slot keys not strictly ascending at slot %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		off, length, _ := s.slotData(i)
+		if uint64(off)+uint64(length) > uint64(len(vals)) {
+			return corruptf("slot %d data range [%d:%d) outside the %d-byte data section", i, off, off+length, len(vals))
+		}
+	}
+	return nil
+}
+
+// Path returns the file the snapshot was opened from.
+func (s *Snapshot) Path() string { return s.path }
+
+// Len returns the entry count.
+func (s *Snapshot) Len() int { return s.n }
+
+// KeySize returns the fixed slot key width in bytes.
+func (s *Snapshot) KeySize() int { return s.keySize }
+
+// Mapped reports whether the snapshot is served by a real memory map
+// (false on platforms without mmap or with Options.NoMmap).
+func (s *Snapshot) Mapped() bool { return s.mapped }
+
+// Bytes returns the total file size.
+func (s *Snapshot) Bytes() int { return len(s.data) }
+
+// slotKey returns the padded key bytes of slot i.
+func (s *Snapshot) slotKey(i int) []byte {
+	return s.slots[i*(s.keySize+slotExtra) : i*(s.keySize+slotExtra)+s.keySize]
+}
+
+// slotData returns slot i's data offset, length, and value count.
+func (s *Snapshot) slotData(i int) (off, length uint32, count uint32) {
+	b := s.slots[i*(s.keySize+slotExtra)+s.keySize:]
+	return binary.LittleEndian.Uint32(b[8:]), binary.LittleEndian.Uint32(b[12:]), binary.LittleEndian.Uint32(b[16:])
+}
+
+// Key returns slot i's key with the NUL padding stripped.
+func (s *Snapshot) Key(i int) string {
+	k := s.slotKey(i)
+	end := len(k)
+	for end > 0 && k[end-1] == 0 {
+		end--
+	}
+	return string(k[:end])
+}
+
+// Revision returns slot i's caller-supplied revision.
+func (s *Snapshot) Revision(i int) int64 {
+	b := s.slots[i*(s.keySize+slotExtra)+s.keySize:]
+	return int64(binary.LittleEndian.Uint64(b[:8]))
+}
+
+// ValueBytes returns the byte length of slot i's values — an index-only
+// read: it touches the fixed-size slot section and never the data pages.
+func (s *Snapshot) ValueBytes(i int) int {
+	_, length, _ := s.slotData(i)
+	return int(length)
+}
+
+// Find binary-searches the slot section for key and returns its slot
+// index. Index-only: a miss (or a hit where only presence matters) never
+// touches the data section.
+func (s *Snapshot) Find(key string) (int, bool) {
+	if len(key) > s.keySize || len(key) == 0 {
+		return -1, false
+	}
+	var padded [MaxKeySize]byte
+	copy(padded[:], key)
+	want := padded[:s.keySize]
+	i := sort.Search(s.n, func(i int) bool {
+		return bytes.Compare(s.slotKey(i), want) >= 0
+	})
+	if i < s.n && bytes.Equal(s.slotKey(i), want) {
+		return i, true
+	}
+	return -1, false
+}
+
+// Probe answers "is key present, and how many value bytes would a lookup
+// materialize?" from the slot section alone.
+func (s *Snapshot) Probe(key string) (found bool, valueBytes int) {
+	i, ok := s.Find(key)
+	if !ok {
+		return false, 0
+	}
+	return true, s.ValueBytes(i)
+}
+
+// Values decodes slot i's value list from the data section. Bounds and
+// varint shape are checked even though the section checksum was verified
+// at open, so a file rewritten underneath a live mapping surfaces
+// ErrCorrupt instead of garbage.
+func (s *Snapshot) Values(i int) ([]string, error) {
+	off, length, count := s.slotData(i)
+	if uint64(off)+uint64(length) > uint64(len(s.vals)) {
+		return nil, corruptf("slot %d data range [%d:%d) outside the %d-byte data section", i, off, off+length, len(s.vals))
+	}
+	b := s.vals[off : off+length]
+	out := make([]string, 0, count)
+	for j := uint32(0); j < count; j++ {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(l) > uint64(len(b)-n) {
+			return nil, corruptf("slot %d value %d has an undecodable length", i, j)
+		}
+		out = append(out, string(b[n:n+int(l)]))
+		b = b[n+int(l):]
+	}
+	if len(b) != 0 {
+		return nil, corruptf("slot %d has %d trailing bytes after its %d values", i, len(b), count)
+	}
+	return out, nil
+}
+
+// Lookup resolves key to its value list. A missing key returns
+// (nil, false, nil) after touching only the slot section.
+func (s *Snapshot) Lookup(key string) ([]string, bool, error) {
+	i, ok := s.Find(key)
+	if !ok {
+		return nil, false, nil
+	}
+	vals, err := s.Values(i)
+	return vals, err == nil, err
+}
+
+// Close releases the mapping. Closing twice is a no-op; reads after
+// Close are invalid.
+func (s *Snapshot) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	openHandles.Add(-1)
+	return s.m.close()
+}

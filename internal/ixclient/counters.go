@@ -44,6 +44,10 @@ func CtrTimeouts(op, ix string) string { return prefix(op, ix) + "timeouts" }
 // per remote key without batching, one per remote partition group with it.
 func CtrNetRoundTrips(op, ix string) string { return prefix(op, ix) + "net.roundtrips" }
 
+// CtrIndexProbes counts index-only probes: presence/size answered from
+// the index's slot section without materializing values (index.Prober).
+func CtrIndexProbes(op, ix string) string { return prefix(op, ix) + "iprobes" }
+
 // SkKeys names the FM sketch of distinct lookup keys (Theta).
 func SkKeys(op, ix string) string { return prefix(op, ix) + "fm" }
 

@@ -195,6 +195,7 @@ func (e *lookupError) Unwrap() error { return e.err }
 type Client struct {
 	acc     index.Accessor
 	batcher index.BatchAccessor // nil when the accessor has no multi-get
+	prober  index.Prober        // nil when the accessor has no index-only probe
 	scheme  *index.Scheme       // nil when the accessor is not partitioned
 	opts    Options
 
@@ -219,6 +220,9 @@ func New(acc index.Accessor, opts Options) *Client {
 	}
 	if b, ok := acc.(index.BatchAccessor); ok {
 		c.batcher = b
+	}
+	if p, ok := acc.(index.Prober); ok {
+		c.prober = p
 	}
 	if p, ok := acc.(index.Partitioned); ok {
 		c.scheme = p.Scheme()
@@ -276,6 +280,49 @@ func (c *Client) LookupBatch(t *mapreduce.TaskContext, keys []string) [][]string
 		c.abort(t, err, keys[0])
 	}
 	return vals
+}
+
+// CanProbe reports whether the wrapped index answers index-only probes
+// (a file-backed kvstore does: presence and result size come from the
+// mapped slot section, no value pages are touched).
+func (c *Client) CanProbe() bool { return c.prober != nil }
+
+// Probe answers "is key present, and how many value bytes would a
+// lookup materialize?" without materializing values. It is charged like
+// a lookup — serve time T_j and, for remote keys, one round trip whose
+// payload is the key plus a fixed presence+size answer — but the result
+// transfer (and result decode) never happens, which is what makes
+// index-only filtering cheaper than lookup-then-discard. Indices without
+// an index-only path fall back to a full direct access.
+func (c *Client) Probe(t *mapreduce.TaskContext, key string) (found bool, valueBytes int) {
+	if c.prober == nil {
+		vals := c.Access(t, key)
+		n := 0
+		for _, v := range vals {
+			n += len(v)
+		}
+		return len(vals) > 0, n
+	}
+	op, ix := c.opts.Op, c.acc.Name()
+	serve := c.acc.ServeTime()
+	t.Charge(serve)
+	t.Inc(CtrServeNS(op, ix), int64(serve*1e9))
+	t.Inc(CtrIndexProbes(op, ix), 1)
+	found, bytes, err := c.prober.Probe(key)
+	if err != nil {
+		t.Inc(CtrErrors(op, ix), 1)
+		if c.opts.ErrorPolicy == ErrorFailJob {
+			c.abort(t, err, key)
+		}
+		return false, 0
+	}
+	hosts := c.acc.HostsFor(key)
+	if hosts == nil || !sim.ContainsNode(hosts, t.Node) {
+		// The answer is presence plus a size — a fixed 8-byte reply.
+		t.ChargeNet(float64(len(key) + 4 + 8))
+		t.Inc(CtrNetRoundTrips(op, ix), 1)
+	}
+	return found, bytes
 }
 
 // CountKey records the per-key statistics (Nik, Sik, the FM sketch) for

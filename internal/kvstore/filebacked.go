@@ -1,0 +1,249 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"efind/internal/fstore"
+	"efind/internal/index"
+)
+
+// Freeze snapshots every partition's B+tree into an fstore file under
+// dir and flips the store to file-backed serving: lookups binary-search
+// the mapped slot section and materialize values from the data section,
+// so misses never touch value pages. The B+trees stay resident as the
+// source of truth — the snapshots are rebuildable caches in the FMC1
+// sense, and a corrupt snapshot (detected by checksum or decode) is
+// rebuilt transparently instead of ever answering wrong data.
+//
+// Freeze after bulk loading; a Put after Freeze marks the key's
+// partition stale, and the next lookup on it rebuilds the snapshot.
+func (s *Store) Freeze(dir string) error {
+	return s.FreezeOpts(dir, fstore.Options{})
+}
+
+// FreezeOpts is Freeze with explicit snapshot open options (tests force
+// the NoMmap fallback through it).
+func (s *Store) FreezeOpts(dir string, opts fstore.Options) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.openOpts = opts
+	if s.snaps != nil {
+		return fmt.Errorf("kvstore: %s is already file-backed", s.name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	snaps := make([]*fstore.Snapshot, len(s.parts))
+	for p := range s.parts {
+		snap, err := s.writePartition(dir, p)
+		if err != nil {
+			for _, sn := range snaps[:p] {
+				if sn != nil {
+					_ = sn.Close()
+				}
+			}
+			return err
+		}
+		snaps[p] = snap
+	}
+	s.dir = dir
+	s.snaps = snaps
+	s.stale = make([]bool, len(s.parts))
+	return nil
+}
+
+// writePartition renders partition p's tree into its snapshot file and
+// opens it. Caller holds the write lock.
+func (s *Store) writePartition(dir string, p int) (*fstore.Snapshot, error) {
+	b := fstore.NewBuilder()
+	s.generation++
+	gen := s.generation
+	s.parts[p].Ascend(func(k string, v interface{}) bool {
+		b.Add(k, gen, v.([]string)...)
+		return true
+	})
+	path := s.partitionPath(dir, p)
+	if err := b.WriteFile(path); err != nil {
+		return nil, err
+	}
+	snap, err := fstore.Open(path, s.openOpts)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: reopening just-written partition %d of %s: %w", p, s.name, err)
+	}
+	return snap, nil
+}
+
+// partitionPath names partition p's snapshot file. Store names flow from
+// user-facing job and index names, so they are sanitized for the
+// filesystem and disambiguated by a name hash.
+func (s *Store) partitionPath(dir string, p int) string {
+	clean := make([]byte, 0, len(s.name))
+	for i := 0; i < len(s.name); i++ {
+		c := s.name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s-%08x-p%04d.fmc1", clean, hashPartition(s.name, 1<<31), p))
+}
+
+// FileBacked reports whether lookups are served from fstore snapshots.
+func (s *Store) FileBacked() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snaps != nil
+}
+
+// Rebuilds returns how many partition snapshots were rebuilt after
+// corruption was detected or a post-freeze Put staled them.
+func (s *Store) Rebuilds() int64 { return s.rebuilds.Load() }
+
+// Reopen drops and re-establishes every partition mapping, as a process
+// restart would. Partitions whose snapshot files fail validation are
+// rebuilt from the in-memory trees; only I/O errors (the directory
+// itself is gone) surface.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snaps == nil {
+		return fmt.Errorf("kvstore: %s is not file-backed", s.name)
+	}
+	for p, snap := range s.snaps {
+		if err := snap.Close(); err != nil {
+			return err
+		}
+		reopened, err := fstore.Open(snap.Path(), s.openOpts)
+		if err == nil {
+			s.snaps[p] = reopened
+			continue
+		}
+		if !errors.Is(err, fstore.ErrCorrupt) && !os.IsNotExist(err) {
+			return err
+		}
+		rebuilt, err := s.writePartition(s.dir, p)
+		if err != nil {
+			return err
+		}
+		s.rebuilds.Add(1)
+		s.snaps[p] = rebuilt
+		s.stale[p] = false
+	}
+	return nil
+}
+
+// Close releases every partition mapping and returns the store to
+// in-memory serving (the trees were the source of truth all along).
+// Closing a store that was never frozen is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snaps == nil {
+		return nil
+	}
+	var firstErr error
+	for _, snap := range s.snaps {
+		if err := snap.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.snaps = nil
+	s.stale = nil
+	return firstErr
+}
+
+// get resolves one key against the active backend. File-backed misses
+// touch only the slot section; a corrupt or stale snapshot is rebuilt
+// under the write lock and the lookup retried against the fresh file.
+func (s *Store) get(key string) ([]string, bool, error) {
+	p := s.scheme.Fn(key)
+	s.mu.RLock()
+	if s.snaps == nil {
+		v, ok := s.parts[p].Get(key)
+		s.mu.RUnlock()
+		if !ok {
+			return nil, false, nil
+		}
+		return v.([]string), true, nil
+	}
+	snap, stale := s.snaps[p], s.stale[p]
+	s.mu.RUnlock()
+	if !stale {
+		vals, ok, err := snap.Lookup(key)
+		if err == nil {
+			return vals, ok, nil
+		}
+		if !errors.Is(err, fstore.ErrCorrupt) {
+			return nil, false, err
+		}
+	}
+	snap, err := s.rebuildPartition(p, snap)
+	if err != nil {
+		return nil, false, err
+	}
+	vals, ok, err := snap.Lookup(key)
+	return vals, ok, err
+}
+
+// rebuildPartition replaces partition p's snapshot with a fresh one
+// built from its tree. old identifies the snapshot the caller found
+// wanting, so concurrent detectors rebuild once.
+func (s *Store) rebuildPartition(p int, old *fstore.Snapshot) (*fstore.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snaps == nil {
+		return nil, fmt.Errorf("kvstore: %s closed during rebuild", s.name)
+	}
+	if s.snaps[p] != old {
+		return s.snaps[p], nil // somebody else already rebuilt it
+	}
+	if err := old.Close(); err != nil {
+		return nil, err
+	}
+	rebuilt, err := s.writePartition(s.dir, p)
+	if err != nil {
+		return nil, err
+	}
+	s.rebuilds.Add(1)
+	s.snaps[p] = rebuilt
+	s.stale[p] = false
+	return rebuilt, nil
+}
+
+// Probe implements index.Prober: key presence and result size without
+// materializing values. File-backed, it reads only the mapped slot
+// section (index-only filtering — the point of the FMC1 layout);
+// in-memory it consults the tree.
+func (s *Store) Probe(key string) (bool, int, error) {
+	p := s.scheme.Fn(key)
+	s.mu.RLock()
+	if s.snaps == nil {
+		v, ok := s.parts[p].Get(key)
+		s.mu.RUnlock()
+		if !ok {
+			return false, 0, nil
+		}
+		n := 0
+		for _, val := range v.([]string) {
+			n += len(val)
+		}
+		return true, n, nil
+	}
+	snap, stale := s.snaps[p], s.stale[p]
+	s.mu.RUnlock()
+	if stale {
+		var err error
+		if snap, err = s.rebuildPartition(p, snap); err != nil {
+			return false, 0, err
+		}
+	}
+	found, bytes := snap.Probe(key)
+	return found, bytes, nil
+}
+
+var _ index.Prober = (*Store)(nil)

@@ -1,0 +1,257 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"efind/internal/fstore"
+)
+
+func loadStore(t *testing.T, parts int) (*Store, map[string][]string) {
+	t.Helper()
+	s := NewHash(cluster(), "fb", parts, 3, 1e-3)
+	oracle := make(map[string][]string)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%04d", i%200)
+		v := fmt.Sprintf("val-%d", i)
+		s.Put(k, v)
+		oracle[k] = append(oracle[k], v)
+	}
+	return s, oracle
+}
+
+func assertOracle(t *testing.T, s *Store, oracle map[string][]string) {
+	t.Helper()
+	for k, want := range oracle {
+		got, err := s.Lookup(k)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", k, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Lookup(%q) = %d values, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Lookup(%q)[%d] = %q, want %q", k, i, got[i], want[i])
+			}
+		}
+	}
+	if got, err := s.Lookup("absent-key"); err != nil || len(got) != 0 {
+		t.Fatalf("absent key: %v, %v", got, err)
+	}
+}
+
+func TestFreezeServesIdentically(t *testing.T) {
+	for _, opts := range []fstore.Options{{}, {NoMmap: true}} {
+		s, oracle := loadStore(t, 8)
+		assertOracle(t, s, oracle)
+		memLookups, memMisses := s.Lookups(), s.Misses()
+		s.ResetStats()
+
+		if err := s.FreezeOpts(t.TempDir(), opts); err != nil {
+			t.Fatal(err)
+		}
+		if !s.FileBacked() {
+			t.Fatal("store should be file-backed after Freeze")
+		}
+		assertOracle(t, s, oracle)
+		if s.Lookups() != memLookups || s.Misses() != memMisses {
+			t.Fatalf("counters diverge: file-backed %d/%d vs in-memory %d/%d",
+				s.Lookups(), s.Misses(), memLookups, memMisses)
+		}
+		if s.Rebuilds() != 0 {
+			t.Fatalf("clean freeze should not rebuild, got %d", s.Rebuilds())
+		}
+
+		// Batch path resolves through the same backend.
+		keys := []string{"key-0000", "absent", "key-0199"}
+		vals, err := s.BatchLookup(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals[0]) == 0 || vals[1] != nil || len(vals[2]) == 0 {
+			t.Fatalf("BatchLookup = %v", vals)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFreezeTwiceFails(t *testing.T) {
+	s, _ := loadStore(t, 4)
+	dir := t.TempDir()
+	if err := s.Freeze(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Freeze(dir); err == nil {
+		t.Fatal("second Freeze should fail")
+	}
+}
+
+func TestPutAfterFreezeRebuildsPartition(t *testing.T) {
+	s, oracle := loadStore(t, 4)
+	if err := s.Freeze(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("fresh-key", "fresh-val")
+	oracle["fresh-key"] = []string{"fresh-val"}
+	assertOracle(t, s, oracle)
+	if s.Rebuilds() == 0 {
+		t.Fatal("stale partition should have been rebuilt")
+	}
+	// Probe sees the new key too (and rebuilds at most once more).
+	found, n, err := s.Probe("fresh-key")
+	if err != nil || !found || n == 0 {
+		t.Fatalf("Probe(fresh-key) = %v, %d, %v", found, n, err)
+	}
+}
+
+func TestCorruptSnapshotRebuiltOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, oracle := loadStore(t, 4)
+	if err := s.Freeze(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.fmc1"))
+	if err != nil || len(names) != 4 {
+		t.Fatalf("partition files: %v, %v", names, err)
+	}
+	// Corrupt one partition and delete another: both are cache loss, both
+	// must come back from the resident trees with no wrong answers.
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(names[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Rebuilds(); got != 2 {
+		t.Fatalf("rebuilds = %d, want 2", got)
+	}
+	assertOracle(t, s, oracle)
+}
+
+func TestCloseReleasesMappingsAndFallsBackToMemory(t *testing.T) {
+	base := fstore.OpenHandles()
+	s, oracle := loadStore(t, 8)
+	if err := s.Freeze(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if fstore.OpenHandles() != base+8 {
+		t.Fatalf("open handles = %d, want %d", fstore.OpenHandles(), base+8)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fstore.OpenHandles() != base {
+		t.Fatalf("handles leaked: %d vs %d", fstore.OpenHandles(), base)
+	}
+	if s.FileBacked() {
+		t.Fatal("store should be back to in-memory serving")
+	}
+	assertOracle(t, s, oracle)
+	if err := s.Close(); err != nil {
+		t.Fatal("closing an unfrozen store must be a no-op, got", err)
+	}
+}
+
+func TestProbeIndexOnly(t *testing.T) {
+	s, _ := loadStore(t, 4)
+	memFound, memBytes, err := s.Probe("key-0001")
+	if err != nil || !memFound {
+		t.Fatalf("in-memory Probe: %v, %v", memFound, err)
+	}
+	if err := s.Freeze(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	found, bytes, err := s.Probe("key-0001")
+	if err != nil || !found {
+		t.Fatalf("file-backed Probe: %v, %v", found, err)
+	}
+	if bytes == 0 || memBytes == 0 {
+		t.Fatal("probe should report value bytes")
+	}
+	if found, bytes, err := s.Probe("absent"); err != nil || found || bytes != 0 {
+		t.Fatalf("absent Probe = %v, %d, %v", found, bytes, err)
+	}
+}
+
+// TestModelRandomOpSequences drives random Put/Lookup/Freeze/Reopen/Close
+// sequences against a plain map oracle: at every step the store answers
+// exactly what the oracle holds, whichever backend is live.
+func TestModelRandomOpSequences(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := NewHash(cluster(), fmt.Sprintf("model-%d", seed), 1+rng.Intn(8), 3, 0)
+			oracle := make(map[string][]string)
+			frozen := false
+			dir := t.TempDir()
+			key := func() string { return fmt.Sprintf("k%03d", rng.Intn(100)) }
+			for op := 0; op < 600; op++ {
+				switch r := rng.Intn(10); {
+				case r < 4: // Put
+					k, v := key(), fmt.Sprintf("v%d", op)
+					s.Put(k, v)
+					oracle[k] = append(oracle[k], v)
+				case r < 8: // Lookup
+					k := key()
+					got, err := s.Lookup(k)
+					if err != nil {
+						t.Fatalf("op %d Lookup(%q): %v", op, k, err)
+					}
+					want := oracle[k]
+					if len(got) != len(want) {
+						t.Fatalf("op %d Lookup(%q) = %d values, want %d", op, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("op %d Lookup(%q)[%d] = %q, want %q", op, k, i, got[i], want[i])
+						}
+					}
+				case r < 9: // flip the backend
+					if frozen {
+						if err := s.Close(); err != nil {
+							t.Fatalf("op %d Close: %v", op, err)
+						}
+						frozen = false
+					} else {
+						if err := s.Freeze(dir); err != nil {
+							t.Fatalf("op %d Freeze: %v", op, err)
+						}
+						frozen = true
+					}
+				default: // Reopen (restart) when frozen
+					if frozen {
+						if err := s.Reopen(); err != nil {
+							t.Fatalf("op %d Reopen: %v", op, err)
+						}
+					}
+				}
+			}
+			if frozen {
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

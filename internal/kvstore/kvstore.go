@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"efind/internal/btree"
+	"efind/internal/fstore"
 	"efind/internal/index"
 	"efind/internal/sim"
 )
@@ -31,6 +32,17 @@ type Store struct {
 	serveTime float64
 	lookups   atomic.Int64
 	misses    atomic.Int64
+
+	// File-backed backend (see filebacked.go): when snaps is non-nil,
+	// lookups are served from per-partition fstore snapshots under dir;
+	// the trees remain the source of truth for rebuilds. stale marks
+	// partitions mutated since their snapshot was written.
+	dir        string
+	snaps      []*fstore.Snapshot
+	stale      []bool
+	openOpts   fstore.Options
+	generation int64
+	rebuilds   atomic.Int64
 }
 
 var (
@@ -93,11 +105,16 @@ func (s *Store) initParts(cluster *sim.Cluster, replicas int) {
 func (s *Store) Name() string { return s.name }
 
 // Put appends a value under key (a key can hold several values, like a
-// non-unique secondary index).
+// non-unique secondary index). On a file-backed store, the key's
+// partition snapshot is marked stale and rebuilt on its next lookup.
 func (s *Store) Put(key, value string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p := s.parts[s.scheme.Fn(key)]
+	pi := s.scheme.Fn(key)
+	p := s.parts[pi]
+	if s.stale != nil {
+		s.stale[pi] = true
+	}
 	if cur, ok := p.Get(key); ok {
 		p.Put(key, append(cur.([]string), value))
 		return
@@ -116,16 +133,19 @@ func (s *Store) Load(pairs map[string][]string) {
 
 // Lookup implements index.Accessor. A missing key returns an empty result,
 // not an error (the paper's lookups return a possibly empty list {iv}).
+// File-backed stores serve it from the mapped snapshot: misses stop at
+// the fixed-size slot section and never touch value pages.
 func (s *Store) Lookup(key string) ([]string, error) {
 	s.lookups.Add(1)
-	s.mu.RLock()
-	v, ok := s.parts[s.scheme.Fn(key)].Get(key)
-	s.mu.RUnlock()
+	v, ok, err := s.get(key)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		s.misses.Add(1)
 		return nil, nil
 	}
-	return v.([]string), nil
+	return v, nil
 }
 
 // BatchLookup implements index.BatchAccessor: one request resolves many
@@ -136,15 +156,17 @@ func (s *Store) Lookup(key string) ([]string, error) {
 func (s *Store) BatchLookup(keys []string) ([][]string, error) {
 	s.lookups.Add(int64(len(keys)))
 	out := make([][]string, len(keys))
-	s.mu.RLock()
 	for i, k := range keys {
-		if v, ok := s.parts[s.scheme.Fn(k)].Get(k); ok {
-			out[i] = v.([]string)
+		v, ok, err := s.get(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out[i] = v
 		} else {
 			s.misses.Add(1)
 		}
 	}
-	s.mu.RUnlock()
 	return out, nil
 }
 

@@ -44,6 +44,14 @@ func New(cluster *sim.Cluster, fs *dfs.FS) *Engine {
 	return &Engine{Cluster: cluster, FS: fs}
 }
 
+// Close releases resources the engine's file system holds outside the Go
+// heap — the mmap'd snapshots of file-backed chunks. It is the shutdown
+// point for a simulation: after Close no file-backed payload is readable.
+// Engines over an all-in-memory FS close as a no-op.
+func (e *Engine) Close() error {
+	return e.FS.Close()
+}
+
 // MapOutput is the materialized output of one map task, partitioned into
 // reducer buckets. The EFind runtime keeps these around so a mid-job plan
 // change can reuse completed map tasks (Figure 10(a)).
@@ -271,7 +279,14 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 	}
 
 	// Input read: local disk when a replica lives here, network otherwise.
+	// File-backed chunks decode their payload here; a snapshot that fails
+	// its integrity checks aborts the attempt rather than feeding the map
+	// function wrong records.
 	sp := ctx.StartSpan("read", "io")
+	records, err := chunk.Records()
+	if err != nil {
+		ctx.Abort(fmt.Errorf("reading split %d: %w", split, err))
+	}
 	if sim.ContainsNode(chunk.Replicas, node) {
 		ctx.Charge(e.Cluster.DiskTime(float64(chunk.Bytes)))
 	} else {
@@ -288,7 +303,7 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 		// Map-only jobs (and single-reducer jobs) funnel every record into
 		// one bucket; size it once instead of growing through the append
 		// doubling ladder on each task.
-		out.Buckets[0] = make([]Pair, 0, len(chunk.Records))
+		out.Buckets[0] = make([]Pair, 0, len(records))
 	}
 	outRecords := 0
 	sink := func(p Pair) {
@@ -308,7 +323,7 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 	sp = ctx.StartSpan("map-pipeline", "pipeline")
 	pipe := newPipeline(ctx, node, job.MapStagesBefore, mapStage, job.MapStagesAfter, sink)
 	pipe.open()
-	for _, r := range chunk.Records {
+	for _, r := range records {
 		pipe.process(Pair{Key: r.Key, Value: r.Value})
 	}
 	pipe.close()
@@ -324,12 +339,12 @@ func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node 
 		}
 	}
 
-	ctx.Inc(CounterInputRecords, int64(len(chunk.Records)))
+	ctx.Inc(CounterInputRecords, int64(len(records)))
 	ctx.Inc(CounterInputBytes, int64(chunk.Bytes))
 	ctx.Inc(CounterOutputRecords, int64(outRecords))
 	ctx.Inc(CounterOutputBytes, int64(out.Bytes))
 	sp = ctx.StartSpan("cpu", "cpu")
-	ctx.Charge(e.Cluster.CPUTime(len(chunk.Records)+outRecords, float64(chunk.Bytes+out.Bytes)))
+	ctx.Charge(e.Cluster.CPUTime(len(records)+outRecords, float64(chunk.Bytes+out.Bytes)))
 	sp.End()
 	if job.Reduce == nil {
 		// Map-only jobs materialize their output to the DFS directly.

@@ -181,7 +181,11 @@ func TestCustomPartitioner(t *testing.T) {
 		if chunk.Shard < 0 || chunk.Shard >= 3 {
 			t.Fatalf("output chunk shard %d out of range", chunk.Shard)
 		}
-		for _, rec := range chunk.Records {
+		recs, err := chunk.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
 			if int(rec.Key[len(rec.Key)-1]-'0')%3 != chunk.Shard {
 				t.Fatalf("key %q landed in shard %d", rec.Key, chunk.Shard)
 			}

@@ -1,0 +1,136 @@
+package mapreduce
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"efind/internal/dfs"
+	"efind/internal/fstore"
+	"efind/internal/sim"
+)
+
+func fbWordCountJob(in *dfs.File) *Job {
+	return &Job{
+		Name:  "wc",
+		Input: in,
+		Map: func(_ *TaskContext, p Pair, emit Emit) {
+			for _, w := range strings.Fields(p.Value) {
+				emit(Pair{Key: w, Value: "1"})
+			}
+		},
+		NumReduce: 4,
+		Reduce: func(_ *TaskContext, key string, values []string, emit Emit) {
+			emit(Pair{Key: key, Value: strconv.Itoa(len(values))})
+		},
+	}
+}
+
+// runWordCount executes the job in a fresh environment, optionally
+// file-backed, and returns a canonical rendering of the result plus its
+// virtual time and counters.
+func runWordCount(t *testing.T, fileBacked bool) (string, float64, map[string]int64) {
+	t.Helper()
+	base := fstore.OpenHandles()
+	cfg := sim.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MapSlotsPerNode = 2
+	cfg.ReduceSlotsPerNode = 1
+	cfg.TaskStartup = 0.01
+	cluster := sim.NewCluster(cfg)
+	fs := dfs.New(cluster)
+	fs.ChunkTarget = 1 << 10
+	if fileBacked {
+		if err := fs.SetBacking(t.TempDir()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(cluster, fs)
+	in := makeInput(t, fs, "in", 700)
+	res, err := e.Run(fbWordCountJob(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, 0, res.Output.Records())
+	for _, r := range res.Output.All() {
+		lines = append(lines, r.Key+"\t"+r.Value)
+	}
+	sort.Strings(lines)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if leaked := fstore.OpenHandles() - base; leaked != 0 {
+		t.Fatalf("%d snapshot handle(s) leaked after Engine.Close", leaked)
+	}
+	return strings.Join(lines, "\n"), res.VTime, res.Counters
+}
+
+// TestFileBackedJobBitIdentical is the acceptance pin: a job whose input
+// and intermediate files live in fstore snapshots must produce the same
+// output, the same virtual time, and the same counters as the in-memory
+// run — file-backing moves bytes, not semantics.
+func TestFileBackedJobBitIdentical(t *testing.T) {
+	memOut, memVT, memCtr := runWordCount(t, false)
+	fileOut, fileVT, fileCtr := runWordCount(t, true)
+	if memOut != fileOut {
+		t.Fatal("output records diverge between in-memory and file-backed runs")
+	}
+	if memVT != fileVT {
+		t.Fatalf("virtual time diverges: mem %.9f vs file %.9f", memVT, fileVT)
+	}
+	if len(memCtr) != len(fileCtr) {
+		t.Fatalf("counter sets diverge: %d vs %d", len(memCtr), len(fileCtr))
+	}
+	for name, v := range memCtr {
+		if fileCtr[name] != v {
+			t.Fatalf("counter %q diverges: mem %d vs file %d", name, v, fileCtr[name])
+		}
+	}
+}
+
+// TestCorruptInputFailsJob corrupts the file-backed input under the
+// engine and asserts the job fails with a detection error instead of
+// producing output from garbage records.
+func TestCorruptInputFailsJob(t *testing.T) {
+	cluster, fs, e := testEnv(t)
+	_ = cluster
+	dir := t.TempDir()
+	if err := fs.SetBacking(dir); err != nil {
+		t.Fatal(err)
+	}
+	in := makeInput(t, fs, "in", 200)
+	names, err := filepath.Glob(filepath.Join(dir, "*.fmc1"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("snapshot files: %v (%v)", names, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 48; i < len(data); i++ {
+		data[i] = 0xff
+	}
+	w, err := os.OpenFile(names[0], os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Run(fbWordCountJob(in))
+	if err == nil {
+		t.Fatal("job over corrupt input must fail")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("error does not name corruption: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,7 +30,11 @@ func TestGenerateLogShape(t *testing.T) {
 	ipCount := map[string]int{}
 	ipChunks := map[string]map[int]bool{}
 	for ci, ch := range f.Chunks {
-		for _, r := range ch.Records {
+		recs, err := ch.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
 			ip, url, ts, ok := ParseLogValue(r.Value)
 			if !ok {
 				t.Fatalf("unparseable record %q", r.Value)
