@@ -1,14 +1,28 @@
 // Command efind-plan explains EFind's cost-based optimizer: given the
-// Table 1 statistics of one index access operation, it prices all four
-// strategies (formulas (1)–(4) of the paper) and prints the chosen plan
-// with a cost breakdown — a what-if tool for understanding when caching,
-// re-partitioning, or index locality pays off.
+// Table 1 statistics of one index access operation, it prices all five
+// strategies — formulas (1)–(4) of the paper plus the adaptive build
+// strategy of internal/adaptix — and prints the chosen plan with a cost
+// breakdown: a what-if tool for understanding when caching,
+// re-partitioning, index locality, or building an index as a job
+// side-effect pays off.
 //
 // Example:
 //
 //	efind-plan -n1 100000 -nik 1 -sik 20 -siv 1024 -tj 0.8ms -theta 8 -r 0.9
 //	efind-plan -theta 1 -r 1 -siv 30720        # distinct keys, big results
+//	efind-plan -pos head -build-total 240 -build-covered 60
+//	                                           # partially built index: the
+//	                                           # fifth strategy's BuildCost
+//	                                           # term and break-even run
 //	efind-plan -profile BENCH_ci.json          # render a bench profile
+//
+// With -build-total > 0 the modeled index is buildable (registry coverage
+// -build-covered of -build-total splits): -tj becomes the fully-built
+// store's serve time, the blended serve time at current coverage prices
+// all strategies, and -explain additionally renders the build strategy's
+// registry completeness, BuildCost term, amortized rank, and predicted
+// break-even run count. The build strategy applies to head operators only
+// (the piggyback stage rides the map scan).
 //
 // With -profile, the tool instead renders a machine-readable job profile
 // written by `efind-bench -profile` as a human-readable report: per-stage
@@ -31,11 +45,12 @@ import (
 func main() {
 	var (
 		profile = flag.String("profile", "", "render this BENCH profile JSON instead of running the what-if model")
+		explain = flag.Bool("explain", true, "print the per-strategy cost breakdown (false: chosen plan only)")
 		n1      = flag.Float64("n1", 50000, "records per parallel lookup lane (Table 1's N1)")
 		nik     = flag.Float64("nik", 1, "average lookup keys per record (Nik)")
 		sik     = flag.Float64("sik", 20, "average key size in bytes (Sik)")
 		siv     = flag.Float64("siv", 1024, "average result size per key in bytes (Siv)")
-		tj      = flag.Duration("tj", 800*time.Microsecond, "index serve time per lookup (Tj)")
+		tj      = flag.Duration("tj", 800*time.Microsecond, "index serve time per lookup (Tj; the fully-built store's Tj when -build-total > 0)")
 		theta   = flag.Float64("theta", 2, "average duplicates per distinct key (Θ)")
 		r       = flag.Float64("r", 0.8, "lookup cache miss ratio (R)")
 		spre    = flag.Float64("spre", 120, "carrier size after preProcess in bytes (Spre)")
@@ -45,6 +60,13 @@ func main() {
 		bw      = flag.Float64("bw", 125e6, "network bandwidth, bytes/s (BW)")
 		fCost   = flag.Float64("f", 2.5e-8, "DFS store+retrieve cost, s/byte (f)")
 		startup = flag.Float64("startup", 0.005, "task startup, s (drives the extra-job overhead)")
+
+		buildTotal   = flag.Int("build-total", 0, "buildable index: total build units (input splits); 0 = not buildable")
+		buildCovered = flag.Int("build-covered", 0, "buildable index: splits already committed in the registry")
+		buildScan    = flag.Duration("build-scan", 50*time.Microsecond, "buildable index: scan-fallback serve penalty per uncovered split")
+		buildCharge  = flag.Duration("build-charge", 20*time.Microsecond, "buildable index: piggyback build charge per scanned record")
+		buildOffer   = flag.Float64("build-offer", 0.25, "buildable index: fraction of total splits offered to build per run")
+		buildHorizon = flag.Float64("build-horizon", 0, "build amortization horizon in future runs (0 = default 4, negative disables the build strategy)")
 	)
 	flag.Parse()
 
@@ -90,23 +112,87 @@ func main() {
 		os.Exit(1)
 	}
 
+	var model core.BuildModel
+	buildable := *buildTotal > 0
+	if buildable {
+		if *buildCovered < 0 || *buildCovered > *buildTotal {
+			fmt.Fprintf(os.Stderr, "efind-plan: -build-covered must be in [0, %d]\n", *buildTotal)
+			os.Exit(1)
+		}
+		offer := int(*buildOffer*float64(*buildTotal) + 0.999999)
+		if remainder := *buildTotal - *buildCovered; offer > remainder {
+			offer = remainder
+		}
+		if offer < 0 {
+			offer = 0
+		}
+		model = core.BuildModel{
+			Covered:   *buildCovered,
+			Total:     *buildTotal,
+			ScanTime:  buildScan.Seconds(),
+			BuildTime: buildCharge.Seconds(),
+			Offer:     offer,
+			TjIdx:     tj.Seconds(),
+		}
+		// Every strategy is priced at the blended serve time of the
+		// current coverage, exactly as the planner's effective stats do.
+		is.Tj = model.TjAt(model.Covered)
+		st.Index["ix"] = is
+	}
+
 	op := core.NewOperator("what-if", nil, nil)
-	if *part {
-		op.AddIndex(partitionedIdx{})
-	} else {
-		op.AddIndex(plainIdx{})
+	var accessor index.Accessor
+	switch {
+	case buildable && *part:
+		accessor = partitionedBuildableIdx{&buildableIdx{model: model}}
+	case buildable:
+		accessor = &buildableIdx{model: model}
+	case *part:
+		accessor = partitionedIdx{}
+	default:
+		accessor = plainIdx{}
+	}
+	op.AddIndex(accessor)
+
+	opts := core.DefaultPlannerOptions()
+	opts.BuildHorizon = *buildHorizon
+
+	if *explain {
+		fmt.Println("EFind cost model (per-lane virtual seconds, formulas (1)-(4) of the paper + adaptive build)")
+		fmt.Printf("  inputs: N1=%.0f Nik=%.2f Sik=%.0fB Siv=%.0fB Tj=%v Θ=%.2f R=%.2f Spre=%.0fB position=%s\n",
+			*n1, *nik, *sik, *siv, *tj, *theta, *r, *spre, position)
+		if buildable {
+			fmt.Printf("  buildable: %d/%d splits covered, scan=%v/split, charge=%v/record, offer rate %.2f\n",
+				model.Covered, model.Total, *buildScan, *buildCharge, *buildOffer)
+		}
+		fmt.Println()
+
+		for _, line := range core.ExplainCosts(st, is, env, position) {
+			fmt.Println("  " + line)
+		}
+		if buildable {
+			horizon := *buildHorizon
+			switch {
+			case horizon == 0:
+				horizon = core.DefaultBuildHorizon
+			case horizon < 0:
+				horizon = 0
+			}
+			altOpts := opts
+			altOpts.BuildHorizon = -1
+			alt := core.OptimizeOperator(op, position, st, env, altOpts).Cost
+			for _, line := range core.ExplainBuild(st, is, env, model, horizon, alt) {
+				fmt.Println("  " + line)
+			}
+			if position != core.HeadOp {
+				fmt.Println("  build      (only head operators can build: the piggyback stage rides the map scan)")
+			}
+		}
+		fmt.Println()
 	}
 
-	fmt.Println("EFind cost model (per-lane virtual seconds, formulas (1)-(4) of the paper)")
-	fmt.Printf("  inputs: N1=%.0f Nik=%.2f Sik=%.0fB Siv=%.0fB Tj=%v Θ=%.2f R=%.2f Spre=%.0fB position=%s\n\n",
-		*n1, *nik, *sik, *siv, *tj, *theta, *r, *spre, position)
-
-	for _, line := range core.ExplainCosts(st, is, env, position) {
-		fmt.Println("  " + line)
-	}
-
-	plan := core.OptimizeOperator(op, position, st, env, core.DefaultPlannerOptions())
-	fmt.Printf("\nchosen plan: %s   (modeled cost %.4f s)\n", plan.String(), plan.Cost)
+	plan := core.OptimizeOperator(op, position, st, env, opts)
+	fmt.Printf("chosen plan: %s   (modeled cost %.4f s)\n", plan.String(), plan.Cost)
 }
 
 // plainIdx and partitionedIdx are stat-only stand-ins; the optimizer only
@@ -120,10 +206,51 @@ func (plainIdx) HostsFor(string) []sim.NodeID    { return nil }
 
 type partitionedIdx struct{ plainIdx }
 
-func (partitionedIdx) Scheme() *index.Scheme {
+func (partitionedIdx) Scheme() *index.Scheme { return whatIfScheme() }
+
+func whatIfScheme() *index.Scheme {
 	hosts := make([][]sim.NodeID, 32)
 	for i := range hosts {
 		hosts[i] = []sim.NodeID{sim.NodeID(i % 12)}
 	}
 	return &index.Scheme{Partitions: 32, Fn: func(string) int { return 0 }, Hosts: hosts}
 }
+
+// buildableIdx is the stat-only stand-in for a partially built adaptix
+// index: it reports the flag-configured registry coverage and build
+// geometry so the planner derives the same BuildModel the explain
+// section renders. The mutating half of the protocol is inert — the
+// what-if tool never runs a job.
+type buildableIdx struct{ model core.BuildModel }
+
+func (b *buildableIdx) Name() string                    { return "ix" }
+func (b *buildableIdx) Lookup(string) ([]string, error) { return nil, nil }
+func (b *buildableIdx) HostsFor(string) []sim.NodeID    { return nil }
+
+// ServeTime is the blended serve time at the configured coverage;
+// the planner recovers TjIdx from it by subtracting the scan term.
+func (b *buildableIdx) ServeTime() float64 { return b.model.TjAt(b.model.Covered) }
+
+func (b *buildableIdx) BuildProgress() (int, int) { return b.model.Covered, b.model.Total }
+func (b *buildableIdx) IsBuilt(split int) bool    { return split < b.model.Covered }
+func (b *buildableIdx) ScanServeTime() float64    { return b.model.ScanTime }
+func (b *buildableIdx) BuildCharge() float64      { return b.model.BuildTime }
+
+func (b *buildableIdx) OfferSplits() []int {
+	splits := make([]int, 0, b.model.Offer)
+	for s := b.model.Covered; s < b.model.Covered+b.model.Offer && s < b.model.Total; s++ {
+		splits = append(splits, s)
+	}
+	return splits
+}
+
+func (b *buildableIdx) Extract(string, string) []index.BuildEntry { return nil }
+func (b *buildableIdx) Stage(sim.NodeID, int, []index.BuildEntry) {}
+func (b *buildableIdx) SnapshotBuild(sim.NodeID) func()           { return func() {} }
+func (b *buildableIdx) ResetBuild(sim.NodeID)                     {}
+func (b *buildableIdx) Commit() int                               { return 0 }
+func (b *buildableIdx) Abandon()                                  {}
+
+type partitionedBuildableIdx struct{ *buildableIdx }
+
+func (partitionedBuildableIdx) Scheme() *index.Scheme { return whatIfScheme() }

@@ -1,0 +1,149 @@
+// Package adaptix implements adaptive index creation: indices built
+// incrementally as a side-effect of running MapReduce jobs, in the image
+// of HAIL/LIAH (Dittrich et al.). EFind itself assumes every index
+// pre-exists; adaptix closes that gap with a fifth strategy family — a
+// job whose map phase scans the input anyway extracts index entries for
+// a configurable fraction of its splits (the offer rate), stages them
+// per task attempt, and commits them between jobs, so repeated jobs
+// converge from scan-cost plans to indexed plans.
+//
+// The package has two halves. Registry tracks per-index build progress
+// (which input splits are covered) and persists it as an fstore
+// snapshot. Buildable wraps a kvstore.Store plus its source file into an
+// index.Buildable accessor that is usable at any coverage: lookups serve
+// covered splits from the store and fall back to scanning the uncovered
+// remainder, so results are always exact and only the serve time shrinks
+// as coverage grows.
+package adaptix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// progress is one index's build state: how many build units (input
+// splits) exist and which are committed.
+type progress struct {
+	total   int
+	covered map[int]bool
+}
+
+// Registry tracks per-index build progress. It is shared across jobs —
+// jobsvc hands all tenants the same registry so one tenant's builds
+// benefit every tenant's planner — and is safe for concurrent use. All
+// mutation happens at serial points (Buildable.Commit between jobs), so
+// a running job observes frozen coverage.
+type Registry struct {
+	mu      sync.Mutex
+	indices map[string]*progress
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{indices: make(map[string]*progress)}
+}
+
+// Register declares an index with the given number of build units. It is
+// idempotent: re-registering keeps existing coverage, so a registry
+// loaded from disk survives accessor reconstruction. Growing the total
+// (the source file gained chunks) is accepted; shrinking is ignored.
+func (r *Registry) Register(name string, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.indices[name]
+	if !ok {
+		r.indices[name] = &progress{total: total, covered: make(map[int]bool)}
+		return
+	}
+	if total > p.total {
+		p.total = total
+	}
+}
+
+// Covered returns how many of the index's build units are committed.
+// Unknown indices report (0, 0).
+func (r *Registry) Covered(name string) (covered, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.indices[name]
+	if !ok {
+		return 0, 0
+	}
+	return len(p.covered), p.total
+}
+
+// IsCovered reports whether one build unit is committed.
+func (r *Registry) IsCovered(name string, split int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.indices[name]
+	return ok && p.covered[split]
+}
+
+// Completeness returns the covered fraction in [0,1]. An unknown or
+// empty index reports 0.
+func (r *Registry) Completeness(name string) float64 {
+	c, t := r.Covered(name)
+	if t == 0 {
+		return 0
+	}
+	return float64(c) / float64(t)
+}
+
+// MarkBuilt commits one build unit, reporting whether it was newly
+// covered (idempotent: duplicate marks return false). Splits outside
+// [0, total) are rejected — a corrupted persisted registry must not
+// inflate completeness.
+func (r *Registry) MarkBuilt(name string, split int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.indices[name]
+	if !ok || split < 0 || split >= p.total || p.covered[split] {
+		return false
+	}
+	p.covered[split] = true
+	return true
+}
+
+// CoveredSplits returns the committed build units in ascending order.
+func (r *Registry) CoveredSplits(name string) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.indices[name]
+	if !ok {
+		return nil
+	}
+	out := make([]int, 0, len(p.covered))
+	for s := range p.covered {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Names returns the registered index names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.indices))
+	for n := range r.indices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fingerprint renders the whole registry as one deterministic string —
+// the bit-identity tests compare it across serial and parallel
+// executors, so it iterates everything in sorted order.
+func (r *Registry) Fingerprint() string {
+	var b strings.Builder
+	for _, name := range r.Names() {
+		covered := r.CoveredSplits(name)
+		_, total := r.Covered(name)
+		fmt.Fprintf(&b, "%s total=%d covered=%v\n", name, total, covered)
+	}
+	return b.String()
+}

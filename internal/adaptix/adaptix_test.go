@@ -1,0 +1,395 @@
+package adaptix
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"efind/internal/dfs"
+	"efind/internal/index"
+	"efind/internal/kvstore"
+	"efind/internal/sim"
+)
+
+func testCluster() *sim.Cluster { return sim.NewCluster(sim.DefaultConfig()) }
+
+// testIndex builds a Buildable over a small synthetic file: records
+// "r<i>" with value "k<i%%keys> payload", indexed on the first token —
+// the same shape the synthetic workload uses.
+func testIndex(t *testing.T, reg *Registry, records, keys int) (*Buildable, *kvstore.Store, *dfs.File) {
+	t.Helper()
+	cl := testCluster()
+	fs := dfs.New(cl)
+	fs.ChunkTarget = 256 // force several chunks
+	recs := make([]dfs.Record, records)
+	for i := range recs {
+		recs[i] = dfs.Record{
+			Key:   fmt.Sprintf("r%04d", i),
+			Value: fmt.Sprintf("k%03d payload", i%keys),
+		}
+	}
+	file, err := fs.Create("src", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kvstore.NewHash(cl, "bix", 8, 2, 1e-5)
+	b, err := New(Config{
+		Name:   "bix",
+		Source: file,
+		Extract: func(key, value string) []index.BuildEntry {
+			ik := value[:strings.IndexByte(value, ' ')]
+			return []index.BuildEntry{{Key: ik, Value: key}}
+		},
+		Store:     store,
+		Registry:  reg,
+		ScanTime:  1e-4,
+		BuildTime: 1e-6,
+		OfferRate: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, store, file
+}
+
+// scanAndStage simulates the piggyback build stage for one split on one
+// node: extract every record's entries and stage them.
+func scanAndStage(t *testing.T, b *Buildable, f *dfs.File, node sim.NodeID, split int) {
+	t.Helper()
+	recs, err := f.Chunks[split].Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []index.BuildEntry
+	for _, r := range recs {
+		entries = append(entries, b.Extract(r.Key, r.Value)...)
+	}
+	b.Stage(node, split, entries)
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", 4)
+	if c, tot := r.Covered("a"); c != 0 || tot != 4 {
+		t.Fatalf("Covered = %d/%d, want 0/4", c, tot)
+	}
+	if !r.MarkBuilt("a", 1) {
+		t.Fatal("MarkBuilt(1) = false on fresh split")
+	}
+	if r.MarkBuilt("a", 1) {
+		t.Fatal("MarkBuilt(1) idempotence violated")
+	}
+	if r.MarkBuilt("a", 9) || r.MarkBuilt("a", -1) || r.MarkBuilt("zz", 0) {
+		t.Fatal("out-of-range or unknown-index MarkBuilt accepted")
+	}
+	r.Register("a", 4) // idempotent re-register keeps coverage
+	if got := r.CoveredSplits("a"); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("CoveredSplits = %v, want [1]", got)
+	}
+	if f := r.Completeness("a"); f != 0.25 {
+		t.Fatalf("Completeness = %v, want 0.25", f)
+	}
+	if f := r.Completeness("missing"); f != 0 {
+		t.Fatalf("Completeness(missing) = %v, want 0", f)
+	}
+}
+
+func TestBuildableLookupExactAtAnyCoverage(t *testing.T) {
+	reg := NewRegistry()
+	b, _, f := testIndex(t, reg, 60, 7)
+	if len(f.Chunks) < 3 {
+		t.Fatalf("want several chunks, got %d", len(f.Chunks))
+	}
+
+	// Ground truth from a full scan.
+	want := map[string][]string{}
+	for _, rec := range f.All() {
+		ik := strings.Fields(rec.Value)[0]
+		want[ik] = append(want[ik], rec.Key)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for ik, vals := range want {
+			got, err := b.Lookup(ik)
+			if err != nil {
+				t.Fatalf("%s: Lookup(%s): %v", stage, ik, err)
+			}
+			g, w := append([]string(nil), got...), append([]string(nil), vals...)
+			sort.Strings(g)
+			sort.Strings(w)
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("%s: Lookup(%s) = %v, want %v", stage, ik, got, w)
+			}
+		}
+		if got, err := b.Lookup("nope"); err != nil || len(got) != 0 {
+			t.Fatalf("%s: Lookup(miss) = %v, %v", stage, got, err)
+		}
+	}
+
+	check("coverage 0")
+	base := b.ServeTime()
+
+	// Build the first offered batch through the stage/commit protocol.
+	offered := b.OfferSplits()
+	if len(offered) == 0 {
+		t.Fatal("no splits offered")
+	}
+	for _, s := range offered {
+		scanAndStage(t, b, f, 0, s)
+	}
+	if got := b.Commit(); got != len(offered) {
+		t.Fatalf("Commit = %d, want %d", got, len(offered))
+	}
+	check("partial coverage")
+	if st := b.ServeTime(); st >= base {
+		t.Fatalf("ServeTime did not shrink with coverage: %v -> %v", base, st)
+	}
+	if b.HostsFor("k001") != nil {
+		t.Fatal("HostsFor should be unknown under partial coverage")
+	}
+
+	// Offered splits advance past committed coverage.
+	next := b.OfferSplits()
+	for _, s := range next {
+		for _, o := range offered {
+			if s == o {
+				t.Fatalf("split %d re-offered after commit", s)
+			}
+		}
+	}
+
+	// Finish the build.
+	for {
+		off := b.OfferSplits()
+		if len(off) == 0 {
+			break
+		}
+		for _, s := range off {
+			scanAndStage(t, b, f, 1, s)
+		}
+		b.Commit()
+	}
+	c, tot := b.BuildProgress()
+	if c != tot || tot != len(f.Chunks) {
+		t.Fatalf("BuildProgress = %d/%d, want full %d", c, tot, len(f.Chunks))
+	}
+	check("full coverage")
+	if st, want := b.ServeTime(), b.Store().ServeTime(); st != want {
+		t.Fatalf("full-coverage ServeTime = %v, want store's %v", st, want)
+	}
+	if b.HostsFor("k001") == nil {
+		t.Fatal("full coverage should expose store placement")
+	}
+}
+
+func TestStageRollbackAndRefcount(t *testing.T) {
+	reg := NewRegistry()
+	b, _, f := testIndex(t, reg, 60, 5)
+	if len(f.Chunks) < 5 {
+		t.Fatalf("want >= 5 chunks, got %d", len(f.Chunks))
+	}
+
+	// Attempt on node 0 stages split 0, then fails: rollback.
+	undo := b.SnapshotBuild(0)
+	scanAndStage(t, b, f, 0, 0)
+	if b.Staged() != 1 {
+		t.Fatalf("Staged = %d, want 1", b.Staged())
+	}
+	undo()
+	if b.Staged() != 0 {
+		t.Fatalf("Staged after rollback = %d, want 0", b.Staged())
+	}
+
+	// Speculative duplicate: winner on node 0, backup on node 1; backup's
+	// rollback must not discard the winner's entries.
+	scanAndStage(t, b, f, 0, 1)
+	undoBackup := b.SnapshotBuild(1)
+	scanAndStage(t, b, f, 1, 1)
+	undoBackup()
+	if b.Staged() != 1 {
+		t.Fatalf("Staged after losing backup rollback = %d, want 1", b.Staged())
+	}
+	if got := b.Commit(); got != 1 {
+		t.Fatalf("Commit = %d, want 1", got)
+	}
+	if !reg.IsCovered("bix", 1) {
+		t.Fatal("split 1 not covered after commit")
+	}
+
+	// Node crash: ResetBuild discards everything the node staged.
+	scanAndStage(t, b, f, 2, 2)
+	scanAndStage(t, b, f, 2, 3)
+	scanAndStage(t, b, f, 3, 4)
+	b.ResetBuild(2)
+	if b.Staged() != 1 {
+		t.Fatalf("Staged after crash reset = %d, want 1 (node 3's)", b.Staged())
+	}
+	// Abandon drops the rest.
+	b.Abandon()
+	if b.Staged() != 0 {
+		t.Fatalf("Staged after Abandon = %d, want 0", b.Staged())
+	}
+	if c, _ := b.BuildProgress(); c != 1 {
+		t.Fatalf("coverage changed by rollback paths: %d, want 1", c)
+	}
+}
+
+func TestCommitIsIdempotentAcrossDuplicateSplits(t *testing.T) {
+	reg := NewRegistry()
+	b, store, f := testIndex(t, reg, 40, 5)
+	scanAndStage(t, b, f, 0, 0)
+	b.Commit()
+	keys := store.Len()
+	// A later job re-stages the now-covered split (it was offered before
+	// the first commit landed); commit must skip it.
+	scanAndStage(t, b, f, 1, 0)
+	if got := b.Commit(); got != 0 {
+		t.Fatalf("re-commit of covered split = %d, want 0", got)
+	}
+	if store.Len() != keys {
+		t.Fatalf("store grew on duplicate commit: %d -> %d", keys, store.Len())
+	}
+}
+
+func TestRegistryPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.fmc")
+
+	r := NewRegistry()
+	r.Register("alpha", 8)
+	r.Register("beta", 3)
+	for _, s := range []int{0, 2, 5} {
+		r.MarkBuilt("alpha", s)
+	}
+	r.MarkBuilt("beta", 1)
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRegistry()
+	if err := r2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint() != r2.Fingerprint() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", r.Fingerprint(), r2.Fingerprint())
+	}
+
+	// Loading merges with in-memory progress.
+	r2.MarkBuilt("beta", 2)
+	if err := r2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.CoveredSplits("beta"); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("merge = %v, want [1 2]", got)
+	}
+
+	// An arbitrary non-registry snapshot is rejected.
+	if err := r2.Load(filepath.Join(dir, "missing.fmc")); err == nil {
+		t.Fatal("Load of missing file succeeded")
+	}
+}
+
+func TestPersistEmptyRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.fmc")
+	r := NewRegistry()
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry()
+	if err := r2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Names()) != 0 {
+		t.Fatalf("empty round trip yielded %v", r2.Names())
+	}
+}
+
+// TestFreezeMidBuildRebuildsSnapshot is the kvstore.Freeze interaction
+// satellite: a store frozen to disk mid-build must serve post-commit
+// lookups from a rebuilt snapshot, never the stale pre-commit one.
+func TestFreezeMidBuildRebuildsSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	b, store, f := testIndex(t, reg, 60, 7)
+
+	// Build and commit the first batch, then freeze: the snapshot now
+	// holds exactly the first batch's entries.
+	for _, s := range b.OfferSplits() {
+		scanAndStage(t, b, f, 0, s)
+	}
+	b.Commit()
+	if err := store.Freeze(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Lookup("k001"); err != nil {
+		t.Fatal(err)
+	}
+	if store.Rebuilds() != 0 {
+		t.Fatalf("Rebuilds before second commit = %d, want 0", store.Rebuilds())
+	}
+
+	// Second build batch commits while frozen: Puts mark partitions
+	// stale, and the next lookups rebuild them instead of serving the
+	// mid-build snapshot.
+	for _, s := range b.OfferSplits() {
+		scanAndStage(t, b, f, 0, s)
+	}
+	if got := b.Commit(); got == 0 {
+		t.Fatal("second commit built nothing")
+	}
+
+	want := map[string][]string{}
+	for _, rec := range f.All() {
+		ik := strings.Fields(rec.Value)[0]
+		want[ik] = append(want[ik], rec.Key)
+	}
+	for ik, vals := range want {
+		got, err := b.Lookup(ik)
+		if err != nil {
+			t.Fatalf("Lookup(%s) after freeze+commit: %v", ik, err)
+		}
+		g, w := append([]string(nil), got...), append([]string(nil), vals...)
+		sort.Strings(g)
+		sort.Strings(w)
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("stale snapshot served: Lookup(%s) = %v, want %v", ik, got, w)
+		}
+	}
+	if store.Rebuilds() == 0 {
+		t.Fatal("expected snapshot rebuilds after mid-build freeze + commit")
+	}
+}
+
+func TestBuildAllMatchesIncrementalBuild(t *testing.T) {
+	regA, regB := NewRegistry(), NewRegistry()
+	a, _, fa := testIndex(t, regA, 50, 6)
+	c, _, _ := testIndex(t, regB, 50, 6)
+	for {
+		off := a.OfferSplits()
+		if len(off) == 0 {
+			break
+		}
+		for _, s := range off {
+			scanAndStage(t, a, fa, 0, s)
+		}
+		a.Commit()
+	}
+	if err := c.BuildAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ik := range []string{"k000", "k003", "k005"} {
+		va, _ := a.Lookup(ik)
+		vb, _ := c.Lookup(ik)
+		sort.Strings(va)
+		sort.Strings(vb)
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("incremental vs BuildAll diverge on %s: %v vs %v", ik, va, vb)
+		}
+	}
+	if regA.Fingerprint() != regB.Fingerprint() {
+		t.Fatalf("registry fingerprints diverge:\n%s\nvs\n%s", regA.Fingerprint(), regB.Fingerprint())
+	}
+}

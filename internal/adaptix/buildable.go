@@ -1,0 +1,363 @@
+package adaptix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"efind/internal/dfs"
+	"efind/internal/index"
+	"efind/internal/kvstore"
+	"efind/internal/sim"
+)
+
+// Config describes one buildable index: a kvstore that accumulates the
+// built entries, the source file whose splits are the build units, and
+// the extraction function that derives index entries from scanned
+// records.
+type Config struct {
+	// Name identifies the index in plans, counters, and the registry.
+	Name string
+	// Source is the file whose chunks are the build units; a lookup's
+	// scan fallback reads its uncovered chunks.
+	Source *dfs.File
+	// Extract derives the index entries of one source record (e.g.
+	// "index the join attribute inside Value under the record's key").
+	Extract func(key, value string) []index.BuildEntry
+	// Store holds committed entries and serves the covered share of
+	// every lookup; its ServeTime is the fully-built T_j.
+	Store *kvstore.Store
+	// Registry tracks which splits are committed, shared across jobs.
+	Registry *Registry
+	// ScanTime is the per-lookup serve-time penalty of each uncovered
+	// split (the scan fallback's share of T_j); at coverage c the
+	// accessor's serve time is Store.ServeTime() + (total-c)*ScanTime.
+	ScanTime float64
+	// BuildTime is the virtual time the piggyback build stage charges
+	// per scanned record of an offered split.
+	BuildTime float64
+	// OfferRate is the fraction of total splits one run offers to build
+	// (LIAH's offer rate rho). 0.25 covers the input in four runs; 0
+	// disables building, leaving the accessor a pure scan-fallback index.
+	OfferRate float64
+}
+
+// stagedSplit is one split's extracted entries awaiting commit. count
+// refcounts concurrent stagings of the same split (speculative backup
+// attempts): a loser's rollback decrements without discarding the
+// winner's entries.
+type stagedSplit struct {
+	count   int
+	entries []index.BuildEntry
+}
+
+// Buildable is an index.Buildable accessor over a kvstore plus a scan
+// fallback. It is usable at any build coverage; lookups are exact
+// regardless of how much has been built. Safe for concurrent use by
+// parallel tasks; Commit and Abandon must only be called at serial
+// points (between jobs), which the core runtime guarantees.
+type Buildable struct {
+	cfg   Config
+	total int
+
+	mu      sync.Mutex
+	staged  map[int]*stagedSplit
+	journal map[sim.NodeID][]int
+	// scans memoizes the per-split scan fallback: split → extracted
+	// key → values in record order. Entries are dropped once a split
+	// commits (the store serves it from then on).
+	scans map[int]map[string][]string
+}
+
+var _ index.Buildable = (*Buildable)(nil)
+
+// New wraps cfg into a Buildable, registering the index with the
+// registry (idempotently, so a registry loaded from disk keeps its
+// coverage).
+func New(cfg Config) (*Buildable, error) {
+	switch {
+	case cfg.Name == "":
+		return nil, fmt.Errorf("adaptix: Config.Name required")
+	case cfg.Source == nil:
+		return nil, fmt.Errorf("adaptix: Config.Source required")
+	case cfg.Extract == nil:
+		return nil, fmt.Errorf("adaptix: Config.Extract required")
+	case cfg.Store == nil:
+		return nil, fmt.Errorf("adaptix: Config.Store required")
+	case cfg.Registry == nil:
+		return nil, fmt.Errorf("adaptix: Config.Registry required")
+	}
+	b := &Buildable{
+		cfg:     cfg,
+		total:   len(cfg.Source.Chunks),
+		staged:  make(map[int]*stagedSplit),
+		journal: make(map[sim.NodeID][]int),
+		scans:   make(map[int]map[string][]string),
+	}
+	cfg.Registry.Register(cfg.Name, b.total)
+	return b, nil
+}
+
+// Name implements index.Accessor.
+func (b *Buildable) Name() string { return b.cfg.Name }
+
+// Store returns the underlying kvstore (the experiment inspects its
+// lookup counters).
+func (b *Buildable) Store() *kvstore.Store { return b.cfg.Store }
+
+// Source returns the file whose splits are the build units. The plan
+// compiler checks it against the job input before piggybacking a build
+// stage — entries extracted from a different file's records would index
+// the wrong data.
+func (b *Buildable) Source() *dfs.File { return b.cfg.Source }
+
+// Lookup implements index.Accessor: the covered share of the key's
+// values comes from the store, the uncovered remainder from a memoized
+// scan of the source chunks. Value order is store commit order followed
+// by uncovered splits in ascending split order — deterministic, though
+// not necessarily global record order when coverage grew non-prefix
+// (a mid-job plan change building only the splits it still had to read).
+func (b *Buildable) Lookup(key string) ([]string, error) {
+	vals, err := b.cfg.Store.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range b.uncovered() {
+		m, err := b.scanOf(s)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, m[key]...)
+	}
+	return vals, nil
+}
+
+// ServeTime implements index.Accessor: the store's fully-built T_j plus
+// the scan penalty of every still-uncovered split. Coverage only changes
+// at serial points, so the value is stable for the duration of a job —
+// the cost model's BuildModel.TjAt mirrors this formula.
+func (b *Buildable) ServeTime() float64 {
+	covered, total := b.BuildProgress()
+	return b.cfg.Store.ServeTime() + float64(total-covered)*b.cfg.ScanTime
+}
+
+// HostsFor implements index.Accessor. Until the build completes a lookup
+// has to touch the scan fallback, which no single node can serve
+// locally, so placement is unknown; at full coverage the store's
+// placement applies.
+func (b *Buildable) HostsFor(key string) []sim.NodeID {
+	if covered, total := b.BuildProgress(); covered < total {
+		return nil
+	}
+	return b.cfg.Store.HostsFor(key)
+}
+
+// BuildProgress implements index.Buildable.
+func (b *Buildable) BuildProgress() (covered, total int) {
+	c, t := b.cfg.Registry.Covered(b.cfg.Name)
+	if t < b.total {
+		t = b.total
+	}
+	return c, t
+}
+
+// IsBuilt implements index.Buildable.
+func (b *Buildable) IsBuilt(split int) bool {
+	return b.cfg.Registry.IsCovered(b.cfg.Name, split)
+}
+
+// ScanServeTime implements index.Buildable.
+func (b *Buildable) ScanServeTime() float64 { return b.cfg.ScanTime }
+
+// BuildCharge implements index.Buildable.
+func (b *Buildable) BuildCharge() float64 { return b.cfg.BuildTime }
+
+// OfferSplits implements index.Buildable: the ceil(rate*total) lowest
+// uncovered splits, ascending. The lowest-first policy keeps coverage a
+// prefix when whole-input jobs build, which keeps lookup value order
+// aligned with record order.
+func (b *Buildable) OfferSplits() []int {
+	if b.cfg.OfferRate <= 0 {
+		return nil
+	}
+	n := int(float64(b.total)*b.cfg.OfferRate + 0.999999)
+	if n < 1 {
+		n = 1
+	}
+	unc := b.uncovered()
+	if len(unc) > n {
+		unc = unc[:n]
+	}
+	return unc
+}
+
+// Extract implements index.Buildable.
+func (b *Buildable) Extract(key, value string) []index.BuildEntry {
+	return b.cfg.Extract(key, value)
+}
+
+// Stage implements index.Buildable: records one fully scanned split's
+// entries pre-commit. A split staged twice (speculative duplicate
+// attempts scan identical records) keeps the first copy and bumps the
+// refcount, so whichever attempt loses can roll back without discarding
+// the winner's entries.
+func (b *Buildable) Stage(node sim.NodeID, split int, entries []index.BuildEntry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st, ok := b.staged[split]; ok {
+		st.count++
+	} else {
+		b.staged[split] = &stagedSplit{count: 1, entries: entries}
+	}
+	b.journal[node] = append(b.journal[node], split)
+}
+
+// SnapshotBuild implements index.Buildable: marks the node's staging
+// journal ahead of a task attempt; the returned rollback unwinds splits
+// staged by this node since the mark (the AttemptGuard discipline every
+// stateful stage follows, so a failed or losing-speculative attempt
+// leaves no trace).
+func (b *Buildable) SnapshotBuild(node sim.NodeID) func() {
+	b.mu.Lock()
+	mark := len(b.journal[node])
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		j := b.journal[node]
+		if mark > len(j) {
+			mark = len(j)
+		}
+		for _, split := range j[mark:] {
+			b.unstageLocked(split)
+		}
+		b.journal[node] = j[:mark]
+	}
+}
+
+// ResetBuild implements index.Buildable: discards everything the node
+// has staged (node crash — the splits re-stage when the recovery wave
+// re-runs the dead node's tasks).
+func (b *Buildable) ResetBuild(node sim.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, split := range b.journal[node] {
+		b.unstageLocked(split)
+	}
+	delete(b.journal, node)
+}
+
+func (b *Buildable) unstageLocked(split int) {
+	st, ok := b.staged[split]
+	if !ok {
+		return
+	}
+	st.count--
+	if st.count <= 0 {
+		delete(b.staged, split)
+	}
+}
+
+// Commit implements index.Buildable: installs the staged splits into the
+// store and registry in ascending split order, returning how many became
+// newly covered. Runs at a serial point between jobs, so concurrent
+// lookups never observe a half-committed split.
+func (b *Buildable) Commit() int {
+	b.mu.Lock()
+	splits := make([]int, 0, len(b.staged))
+	for s := range b.staged {
+		splits = append(splits, s)
+	}
+	sort.Ints(splits)
+	staged := b.staged
+	b.staged = make(map[int]*stagedSplit)
+	b.journal = make(map[sim.NodeID][]int)
+	b.mu.Unlock()
+
+	built := 0
+	for _, s := range splits {
+		if b.cfg.Registry.IsCovered(b.cfg.Name, s) {
+			continue
+		}
+		for _, e := range staged[s].entries {
+			b.cfg.Store.Put(e.Key, e.Value)
+		}
+		if b.cfg.Registry.MarkBuilt(b.cfg.Name, s) {
+			built++
+		}
+		b.mu.Lock()
+		delete(b.scans, s)
+		b.mu.Unlock()
+	}
+	return built
+}
+
+// Abandon implements index.Buildable: discards all staged state without
+// committing (the job failed; its scans may be incomplete).
+func (b *Buildable) Abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.staged = make(map[int]*stagedSplit)
+	b.journal = make(map[sim.NodeID][]int)
+}
+
+// Staged returns how many splits are currently staged (tests).
+func (b *Buildable) Staged() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.staged)
+}
+
+// BuildAll scans and commits every uncovered split immediately — the
+// offline bulk build an experiment's pre-built leg uses as the
+// convergence target.
+func (b *Buildable) BuildAll() error {
+	for _, s := range b.uncovered() {
+		recs, err := b.cfg.Source.Chunks[s].Records()
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			for _, e := range b.cfg.Extract(rec.Key, rec.Value) {
+				b.cfg.Store.Put(e.Key, e.Value)
+			}
+		}
+		b.cfg.Registry.MarkBuilt(b.cfg.Name, s)
+	}
+	return nil
+}
+
+// uncovered returns the uncovered splits ascending.
+func (b *Buildable) uncovered() []int {
+	out := make([]int, 0, b.total)
+	for s := 0; s < b.total; s++ {
+		if !b.cfg.Registry.IsCovered(b.cfg.Name, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// scanOf returns split s's memoized scan map, computing it on first use.
+// Computation holds the mutex: parallel lookups of a cold split
+// serialize, which costs wall time only (virtual time is charged by the
+// cost model, not measured) and keeps the memo deterministic.
+func (b *Buildable) scanOf(s int) (map[string][]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.scans[s]; ok {
+		return m, nil
+	}
+	recs, err := b.cfg.Source.Chunks[s].Records()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string][]string)
+	for _, rec := range recs {
+		for _, e := range b.cfg.Extract(rec.Key, rec.Value) {
+			m[e.Key] = append(m[e.Key], e.Value)
+		}
+	}
+	b.scans[s] = m
+	return m, nil
+}

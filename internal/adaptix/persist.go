@@ -1,0 +1,76 @@
+package adaptix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"efind/internal/fstore"
+)
+
+// The registry persists as one fstore snapshot: a version sentinel entry
+// plus one entry per index (key "ix:<name>", revision = total build
+// units, values = the covered splits as decimal strings). fstore's
+// atomic temp+rename write and eager corruption validation apply, so a
+// torn or bit-flipped registry file surfaces as an error at Load rather
+// than as silently inflated completeness.
+const (
+	persistSentinel = "adaptix-registry"
+	persistVersion  = 1
+	persistPrefix   = "ix:"
+)
+
+// Save writes the registry's state to path as an fstore snapshot.
+func (r *Registry) Save(path string) error {
+	b := fstore.NewBuilder()
+	b.Add(persistSentinel, persistVersion)
+	for _, name := range r.Names() {
+		_, total := r.Covered(name)
+		covered := r.CoveredSplits(name)
+		vals := make([]string, len(covered))
+		for i, s := range covered {
+			vals[i] = strconv.Itoa(s)
+		}
+		b.Add(persistPrefix+name, int64(total), vals...)
+	}
+	return b.WriteFile(path)
+}
+
+// Load merges a saved registry into r: indices are registered and their
+// persisted coverage marked built. Coverage already present in r is
+// kept (MarkBuilt is idempotent), so loading after partial in-memory
+// progress unions the two.
+func (r *Registry) Load(path string) error {
+	snap, err := fstore.Open(path, fstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	if _, ok := snap.Find(persistSentinel); !ok {
+		return fmt.Errorf("adaptix: %s is not a registry snapshot", path)
+	}
+	for i := 0; i < snap.Len(); i++ {
+		key := snap.Key(i)
+		if !strings.HasPrefix(key, persistPrefix) {
+			continue
+		}
+		name := strings.TrimPrefix(key, persistPrefix)
+		total := int(snap.Revision(i))
+		r.Register(name, total)
+		vals, err := snap.Values(i)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			s, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("adaptix: registry %s: bad split %q for %s: %v", path, v, name, err)
+			}
+			if s < 0 || s >= total {
+				return fmt.Errorf("adaptix: registry %s: split %d for %s outside [0,%d)", path, s, name, total)
+			}
+			r.MarkBuilt(name, s)
+		}
+	}
+	return nil
+}

@@ -170,8 +170,11 @@ func (rt *Runtime) reoptimize(conf *IndexJobConf, cur *JobPlan, ops []*Operator,
 			st := rt.Catalog.Get(p.Op.Name())
 			np := OptimizeOperator(p.Op, p.Pos, st, rt.Env, conf.Planner)
 			conf.applyDegrades(&np)
-			curCost += PlanCost(p, st, rt.Env)
-			newCost += np.Cost
+			// Both sides are credited with their build decisions' amortized
+			// payoff, so the comparison ranks plans the way the optimizer
+			// did (the plans' recorded costs stay honest per-run costs).
+			curCost += PlanCost(p, st, rt.Env) - planBuildCredit(p, st, rt.Env, conf.Planner)
+			newCost += np.Cost - planBuildCredit(np, st, rt.Env, conf.Planner)
 			out = append(out, np)
 		}
 		return out
@@ -192,6 +195,11 @@ func (rt *Runtime) reoptimize(conf *IndexJobConf, cur *JobPlan, ops []*Operator,
 		return nil, false
 	}
 	rt.traceInstant(fmt.Sprintf("reoptimize: plan change accepted (modeled cost %.4f -> %.4f)", curCost, newCost))
+	if planHasBuild(newPlan) {
+		// Observed redundancy became a build trigger: the re-optimized
+		// plan starts (or continues) piggyback index creation mid-job.
+		rt.traceInstant("adaptive: piggyback index build started mid-job")
+	}
 	return newPlan, true
 }
 
@@ -238,6 +246,10 @@ func (rt *Runtime) changePlanAtMap(conf *IndexJobConf, total *JobResult, mp1 *ma
 	if err != nil {
 		return nil, err
 	}
+	// The new plan's first job runs only the remaining splits; any
+	// piggyback builders must offer from those (LIAH: build only what
+	// the job reads anyway).
+	co.restrictBuilds(seq(wave, n))
 	total.Plan = newPlan
 	total.Replanned = true
 	total.ReplanPhase = "map"

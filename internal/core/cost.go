@@ -1,8 +1,13 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
 
-// Strategy is one of the paper's four index access strategies (§3).
+	"efind/internal/index"
+)
+
+// Strategy is one of the paper's four index access strategies (§3), plus
+// the adaptive-build strategy of internal/adaptix.
 type Strategy int
 
 // Strategies.
@@ -20,6 +25,14 @@ const (
 	// and schedules the lookup tasks on the partition hosts (§3.4,
 	// formula (4)).
 	IndexLocality
+	// Build is the fifth family (HAIL/LIAH-style adaptive index
+	// creation): lookups run cache-fronted against the partially-built
+	// index — indexed access for covered splits, scan fallback for the
+	// rest — while the map scan piggybacks an incremental build of this
+	// run's offered splits, so repeated jobs converge to indexed plans.
+	// Only applicable to head operators of index.Buildable accessors
+	// with uncovered splits remaining.
+	Build
 )
 
 func (s Strategy) String() string {
@@ -32,6 +45,8 @@ func (s Strategy) String() string {
 		return "repart"
 	case IndexLocality:
 		return "idxloc"
+	case Build:
+		return "build"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -187,6 +202,136 @@ func boundarySizes(pos OpPosition, st *OperatorStats, spreEff, sidxEff float64) 
 		BoundaryIdx:  sidxEff,
 		BoundaryLate: late,
 	}
+}
+
+// BuildModel captures a buildable index's current state for the cost
+// model: how far the build has progressed, what a run's piggyback build
+// costs, and what each built split is worth.
+type BuildModel struct {
+	// Covered and Total are the committed and total build units (input
+	// splits) from the registry.
+	Covered, Total int
+	// ScanTime is the per-lookup serve penalty of one uncovered split.
+	ScanTime float64
+	// BuildTime is the per-record charge of the piggyback build stage.
+	BuildTime float64
+	// Offer is how many splits this run offers to build (already capped
+	// to the uncovered remainder).
+	Offer int
+	// TjIdx is the fully-built serve time (the underlying store's T_j).
+	TjIdx float64
+}
+
+// TjAt models the blended serve time at a given coverage: the built
+// store's T_j plus the scan fallback over every uncovered split. This is
+// exactly Buildable.ServeTime's formula, so modeled and charged serve
+// times agree by construction.
+func (m BuildModel) TjAt(covered int) float64 {
+	if covered > m.Total {
+		covered = m.Total
+	}
+	return m.TjIdx + float64(m.Total-covered)*m.ScanTime
+}
+
+// Completeness is the covered fraction in [0,1].
+func (m BuildModel) Completeness() float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Covered) / float64(m.Total)
+}
+
+// buildModelOf derives the build model from an accessor, if it is
+// buildable. The declared geometry (store T_j, per-split scan time) is
+// read from the accessor itself rather than from catalog measurements,
+// so a plan priced after more splits committed uses the current coverage
+// even when the catalog's measured T_j is stale.
+func buildModelOf(a index.Accessor) (BuildModel, bool) {
+	b, ok := a.(index.Buildable)
+	if !ok {
+		return BuildModel{}, false
+	}
+	covered, total := b.BuildProgress()
+	m := BuildModel{
+		Covered:   covered,
+		Total:     total,
+		ScanTime:  b.ScanServeTime(),
+		BuildTime: b.BuildCharge(),
+		Offer:     len(b.OfferSplits()),
+		TjIdx:     b.ServeTime() - float64(total-covered)*b.ScanServeTime(),
+	}
+	if m.Offer > total-covered {
+		m.Offer = total - covered
+	}
+	return m, true
+}
+
+// effectiveIndexStats overrides the catalog's measured T_j with the
+// build model's T_j at current coverage for buildable accessors: the
+// measurement was taken at the coverage of the measuring run, and a
+// commit since then would mis-price every strategy of this index.
+// Non-buildable accessors pass through unchanged.
+func effectiveIndexStats(a index.Accessor, is IndexStats) (IndexStats, BuildModel, bool) {
+	m, ok := buildModelOf(a)
+	if !ok {
+		return is, BuildModel{}, false
+	}
+	is.Tj = m.TjAt(m.Covered)
+	return is, m, true
+}
+
+// costBuild prices one run under the build strategy: cache-fronted
+// lookups at the current coverage's blended serve time (is.Tj must
+// already be TjAt(Covered), see effectiveIndexStats) plus the BuildCost
+// term — the piggyback stage touches the offered fraction of the input
+// once per record:
+//
+//	Cost_build = Cost_cache(TjAt(c)) + N1·(Offer/Total)·BuildTime
+func costBuild(st *OperatorStats, is IndexStats, env Env, m BuildModel) float64 {
+	c := costCache(st, is, env)
+	if m.Total > 0 && m.Offer > 0 {
+		c += st.N1 * float64(m.Offer) / float64(m.Total) * m.BuildTime
+	}
+	return c
+}
+
+// buildSavings is the modeled per-future-run payoff of committing this
+// run's offered splits: every cache-missing lookup's serve time drops by
+// Offer·ScanTime once they are built:
+//
+//	savings = N1·Nik·R·Offer·ScanTime
+func buildSavings(st *OperatorStats, is IndexStats, env Env, m BuildModel) float64 {
+	return st.N1 * is.Nik * is.R * float64(m.Offer) * m.ScanTime
+}
+
+// PredictBuildRuns predicts the break-even run count of the build
+// strategy against a non-build alternative costing alt per run: the
+// smallest r such that r runs under build (coverage advancing by Offer
+// each run) cost no more cumulatively than r runs of the alternative.
+// Returns -1 when no break-even occurs within maxRuns (building never
+// pays off, e.g. Offer is 0 or the build charge dominates the savings).
+func PredictBuildRuns(st *OperatorStats, is IndexStats, env Env, m BuildModel, alt float64, maxRuns int) int {
+	cumBuild, cumAlt := 0.0, 0.0
+	covered := m.Covered
+	for r := 1; r <= maxRuns; r++ {
+		isAt := is
+		isAt.Tj = m.TjAt(covered)
+		offer := m.Offer
+		if offer > m.Total-covered {
+			offer = m.Total - covered
+		}
+		run := costCache(st, isAt, env)
+		if offer > 0 && m.Total > 0 {
+			run += st.N1 * float64(offer) / float64(m.Total) * m.BuildTime
+		}
+		covered += offer
+		cumBuild += run
+		cumAlt += alt
+		if cumBuild <= cumAlt {
+			return r
+		}
+	}
+	return -1
 }
 
 // bestBoundary picks the boundary minimizing the materialized size,

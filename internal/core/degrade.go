@@ -164,6 +164,8 @@ func (rt *Runtime) resumeDegraded(conf *IndexJobConf, partial *mapreduce.MapPhas
 			missing = append(missing, i)
 		}
 	}
+	// Completed splits are reused, so only the re-run ones can build.
+	co.restrictBuilds(missing)
 	rest, err := rt.run.RunMapPhase(job, missing)
 	if err != nil {
 		return nil, &mapPhaseFailure{jobName: job.Name, mp: rest, err: err}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"efind/internal/chaos"
 	"efind/internal/dfs"
@@ -324,7 +325,24 @@ func (rt *Runtime) SubmitOn(run *mapreduce.JobRun, conf *IndexJobConf) (*JobResu
 	}
 	res, err := rt.submitDegradable(conf)
 	if err != nil {
+		// A failed job's scans may be incomplete: abandon anything its
+		// build stages staged rather than committing half-built splits.
+		for _, b := range confBuildables(conf) {
+			b.Abandon()
+		}
 		return nil, err
+	}
+	// The serial point between jobs: commit the splits the piggyback
+	// build stages staged. SubmitOn returns before the job service
+	// unparks the next job goroutine, so cross-job commit order is the
+	// deterministic job completion order.
+	committed := 0
+	for _, b := range confBuildables(conf) {
+		committed += b.Commit()
+	}
+	if committed > 0 {
+		res.Counters[CtrBuildCommitted] += int64(committed)
+		rt.traceInstant(fmt.Sprintf("adaptive: committed %d built split(s)", committed))
 	}
 	fillIndexErrors(conf, res)
 	if t := rt.Engine.Trace; t != nil {
@@ -346,6 +364,24 @@ func (rt *Runtime) submitOnce(conf *IndexJobConf) (*JobResult, error) {
 		return nil, err
 	}
 	return rt.runPlan(conf, plan)
+}
+
+// confBuildables returns the distinct buildable accessors among the
+// job's operators (regardless of which plan ran — a dynamic job may have
+// executed two plans, and commit/abandon must cover both).
+func confBuildables(conf *IndexJobConf) []index.Buildable {
+	ops, _ := conf.Operators()
+	var out []index.Buildable
+	seen := map[string]bool{}
+	for _, o := range ops {
+		for _, a := range o.Indices() {
+			if b, ok := a.(index.Buildable); ok && !seen[b.Name()] {
+				seen[b.Name()] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
 }
 
 // fillIndexErrors reports the per-index error totals on the result, one
@@ -497,15 +533,59 @@ type shuffleSpec struct {
 	emitNextPos int
 }
 
+// buildTarget is one buildable index the compiled plan piggybacks a
+// build stage for: the accessor plus the frozen offer set — which splits
+// this run builds. The set is frozen at compile time (and re-frozen by
+// restrictBuilds for subset phases) so every task of a job agrees on it
+// regardless of executor parallelism.
+type buildTarget struct {
+	b     index.Buildable
+	op    string
+	quota int
+	offer map[int]bool
+}
+
+// restrict re-freezes the target's offer set to the lowest-numbered
+// still-uncovered splits among those the job will actually scan, keeping
+// the original per-run quota. The adaptive runtime calls it before
+// running a plan-change phase over a split subset — the LIAH rule of
+// building only what the job reads anyway.
+func (bt *buildTarget) restrict(splits []int) {
+	sorted := append([]int(nil), splits...)
+	sort.Ints(sorted)
+	_, total := bt.b.BuildProgress()
+	offer := make(map[int]bool, bt.quota)
+	for _, s := range sorted {
+		if len(offer) >= bt.quota {
+			break
+		}
+		if s >= 0 && s < total && !bt.b.IsBuilt(s) {
+			offer[s] = true
+		}
+	}
+	bt.offer = offer
+}
+
 // compiled is a full plan lowered to a job sequence.
 type compiled struct {
 	jobs  []*cjob
 	execs map[string]*opExec
+	// builds are the plan's piggyback build targets (Build-strategy
+	// decisions of head operators whose accessor is buildable).
+	builds []*buildTarget
 	// pool is the job's cross-job shared cache, if attached. Guarded and
 	// crash-reset at this level — once per node — because pooled caches
 	// are shared across every client of every operator, and journaling
 	// one cache twice would supersede the first guard.
 	pool *ixclient.Pool
+}
+
+// restrictBuilds re-freezes every build target's offer set to the given
+// split subset (see buildTarget.restrict).
+func (co *compiled) restrictBuilds(splits []int) {
+	for _, bt := range co.builds {
+		bt.restrict(splits)
+	}
 }
 
 // resetNode drops every operator client's caches on a crashed node: a
@@ -515,6 +595,11 @@ type compiled struct {
 func (co *compiled) resetNode(node sim.NodeID) {
 	for _, x := range co.execs {
 		x.resetNode(node)
+	}
+	for _, bt := range co.builds {
+		// A crashed node's staged build splits are discarded; the
+		// recovery wave re-runs its tasks and re-stages them.
+		bt.b.ResetBuild(node)
 	}
 	if co.pool != nil {
 		co.pool.ResetNode(node)
@@ -526,9 +611,15 @@ func (co *compiled) resetNode(node sim.NodeID) {
 // so a re-executed task re-measures its cache misses from the same state
 // and the miss ratio R feeding the cost model stays unskewed.
 func (co *compiled) attemptGuard(node sim.NodeID) func() {
-	rollbacks := make([]func(), 0, len(co.execs)+1)
+	rollbacks := make([]func(), 0, len(co.execs)+len(co.builds)+1)
 	for _, x := range co.execs {
 		rollbacks = append(rollbacks, x.snapshotNode(node))
+	}
+	for _, bt := range co.builds {
+		// Build staging follows the same discipline as the caches: a
+		// failed or losing-speculative attempt's staged splits are
+		// rolled back so the commit sees each split exactly once.
+		rollbacks = append(rollbacks, bt.b.SnapshotBuild(node))
 	}
 	if co.pool != nil {
 		rollbacks = append(rollbacks, co.pool.SnapshotNode(node))
@@ -661,7 +752,54 @@ func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, err
 			}
 		}
 	}
+	co.attachBuildStages(conf, plan)
 	return co, nil
+}
+
+// buildSourced is implemented by buildable accessors that can name the
+// file their build units are splits of (adaptix.Buildable does); the
+// compiler uses it to refuse piggybacking onto a job that scans a
+// different file, where extracted entries would index the wrong records.
+type buildSourced interface {
+	Source() *dfs.File
+}
+
+// attachBuildStages prepends the piggyback build stage of every
+// Build-strategy decision to the first job's map pipeline — ahead of all
+// operator stages, so the builder sees the raw input records the map
+// task scans. Only head operators qualify (their records are the job
+// input), and an accessor that declares its source file must match the
+// job input. The offer set is frozen here, once per compiled plan, so
+// every task — serial or parallel executor — agrees on which splits
+// build.
+func (co *compiled) attachBuildStages(conf *IndexJobConf, plan *JobPlan) {
+	var stages []mapreduce.StageFactory
+	for _, p := range plan.Head {
+		for _, d := range p.Decisions {
+			if d.Strategy != Build {
+				continue
+			}
+			a := p.Op.Indices()[d.Index]
+			b, ok := a.(index.Buildable)
+			if !ok {
+				continue
+			}
+			if src, ok := a.(buildSourced); ok && src.Source() != conf.Input {
+				continue
+			}
+			offered := b.OfferSplits()
+			offer := make(map[int]bool, len(offered))
+			for _, s := range offered {
+				offer[s] = true
+			}
+			bt := &buildTarget{b: b, op: p.Op.Name(), quota: len(offered), offer: offer}
+			co.builds = append(co.builds, bt)
+			stages = append(stages, buildStage(bt))
+		}
+	}
+	if len(stages) > 0 {
+		co.jobs[0].mapStages = append(stages, co.jobs[0].mapStages...)
+	}
 }
 
 // engineJob materializes a compiled job into a runnable mapreduce.Job.

@@ -39,6 +39,31 @@ func ExplainCosts(st *OperatorStats, is IndexStats, env Env, pos OpPosition) []s
 	return out
 }
 
+// ExplainBuild renders the fifth strategy's cost breakdown for a
+// buildable index: the registry's completeness, the blended serve time
+// at current coverage, the BuildCost term, the amortized rank the
+// planner actually compares, and the predicted break-even run count
+// against the best non-build alternative. is.Tj must already be the
+// modeled TjAt(covered) (see effectiveIndexStats).
+func ExplainBuild(st *OperatorStats, is IndexStats, env Env, m BuildModel, horizon float64, alt float64) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("build      registry %d/%d splits covered (%.0f%% complete), Tj(c)=%.6f s",
+		m.Covered, m.Total, 100*m.Completeness(), m.TjAt(m.Covered)))
+	cache := costCache(st, is, env)
+	total := costBuild(st, is, env, m)
+	out = append(out, fmt.Sprintf("build      lookups=%.4f + BuildCost N1·(offer/total)·Tbuild=%.4f = %.4f s  (offer=%d)",
+		cache, total-cache, total, m.Offer))
+	savings := buildSavings(st, is, env, m)
+	out = append(out, fmt.Sprintf("build      rank = cost − horizon·savings = %.4f − %.0f·%.4f = %.4f s",
+		total, horizon, savings, total-horizon*savings))
+	if n := PredictBuildRuns(st, is, env, m, alt, 1000); n >= 0 {
+		out = append(out, fmt.Sprintf("build      predicted break-even: run %d (vs best alternative %.4f s/run)", n, alt))
+	} else {
+		out = append(out, fmt.Sprintf("build      no break-even within 1000 runs (vs best alternative %.4f s/run)", alt))
+	}
+	return out
+}
+
 // IndexProfiles derives the per-index modeled-vs-observed rows of a
 // finished job: each plan decision's modeled per-machine cost next to
 // the serve time the run actually charged, plus the index client

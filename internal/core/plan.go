@@ -96,6 +96,31 @@ type PlannerOptions struct {
 	FullEnumerateLimit int
 	// KRepart is the k of the fallback Algorithm k-Repart.
 	KRepart int
+	// BuildHorizon is how many future runs of the same job the planner
+	// credits the build strategy for: the strategy is ranked by
+	// cost − BuildHorizon·savings, where savings is the per-future-run
+	// serve-time payoff of this run's committed splits. 0 picks the
+	// default (4); negative disables the build strategy entirely. The
+	// Decision's recorded Cost stays the honest per-run cost — only the
+	// ranking is amortized.
+	BuildHorizon float64
+}
+
+// DefaultBuildHorizon is the default amortization window of the build
+// strategy (a LIAH-style assumption that a query family recurs at least
+// a handful of times; the adaptive-build experiment validates the
+// resulting break-even prediction).
+const DefaultBuildHorizon = 4
+
+// buildHorizon resolves the configured horizon.
+func (o PlannerOptions) buildHorizon() float64 {
+	if o.BuildHorizon == 0 {
+		return DefaultBuildHorizon
+	}
+	if o.BuildHorizon < 0 {
+		return 0
+	}
+	return o.BuildHorizon
 }
 
 // DefaultPlannerOptions mirrors the paper's guidance (m ≤ 5 is cheap to
@@ -166,7 +191,7 @@ func OptimizeOperator(op *Operator, pos OpPosition, st *OperatorStats, env Env, 
 	}
 	best := OperatorPlan{Cost: -1}
 	for _, order := range orders {
-		p := planForOrder(op, pos, st, env, order)
+		p := planForOrder(op, pos, st, env, order, opts)
 		if best.Cost < 0 || p.Cost < best.Cost {
 			best = p
 		}
@@ -176,33 +201,51 @@ func OptimizeOperator(op *Operator, pos OpPosition, st *OperatorStats, env Env, 
 
 // planForOrder applies Property 3 (fixed order ⇒ per-index strategy
 // choices independent) and Property 4 (repartitioned indices first) to
-// compute the cheapest plan for one access order.
-func planForOrder(op *Operator, pos OpPosition, st *OperatorStats, env Env, order []int) OperatorPlan {
+// compute the cheapest plan for one access order. Candidates are ranked
+// by per-run cost, except the build strategy, which is ranked with its
+// modeled future savings credited over the planner's BuildHorizon —
+// "pay a little now, win on the next runs" (the Decision still records
+// the honest per-run cost).
+func planForOrder(op *Operator, pos OpPosition, st *OperatorStats, env Env, order []int, opts PlannerOptions) OperatorPlan {
 	p := OperatorPlan{Op: op, Pos: pos}
 	spreEff := st.Spre
 	allowShuffle := true
 	for _, idx := range order {
 		a := op.Indices()[idx]
-		is := st.Index[a.Name()]
+		is, bm, buildable := effectiveIndexStats(a, st.Index[a.Name()])
 		d := Decision{Index: idx, Strategy: Baseline, Cost: costBaseline(st, is, env)}
-		if c := costCache(st, is, env); c < d.Cost {
+		rank := d.Cost
+		if c := costCache(st, is, env); c < rank {
 			d = Decision{Index: idx, Strategy: LookupCache, Cost: c}
+			rank = c
 		}
 		if allowShuffle && repartFeasible(is) {
 			sidxEff := spreEff + is.Nik*(is.Sik+is.Siv)
 			b, c := bestRepartBoundary(pos, st, is, env, spreEff, sidxEff)
-			if c < d.Cost {
+			if c < rank {
 				d = Decision{Index: idx, Strategy: Repartition, Boundary: b, Cost: c}
+				rank = c
 			}
 			if idxLocFeasible(a, is) {
-				if c := costIdxLoc(st, is, env, spreEff); c < d.Cost {
+				if c := costIdxLoc(st, is, env, spreEff); c < rank {
 					d = Decision{Index: idx, Strategy: IndexLocality, Boundary: BoundaryPre, Cost: c}
+					rank = c
 				}
 			}
 		}
-		if d.Strategy == Baseline || d.Strategy == LookupCache {
+		// The build strategy rides the map scan of the job input, so
+		// only head operators qualify; there must be something left to
+		// build and an offer to build it with.
+		if buildable && pos == HeadOp && bm.Covered < bm.Total && bm.Offer > 0 && opts.buildHorizon() > 0 {
+			c := costBuild(st, is, env, bm)
+			if r := c - opts.buildHorizon()*buildSavings(st, is, env, bm); r < rank {
+				d = Decision{Index: idx, Strategy: Build, Cost: c}
+				rank = r
+			}
+		}
+		if !isShuffle(d.Strategy) {
 			// Property 4: once a non-shuffle strategy is chosen, the
-			// remaining indices only consider baseline/cache.
+			// remaining indices only consider non-shuffle ones.
 			allowShuffle = false
 		}
 		// Later shuffles carry this index's attached results.
@@ -288,7 +331,7 @@ func PlanCost(p OperatorPlan, st *OperatorStats, env Env) float64 {
 	spreEff := st.Spre
 	for _, d := range p.Decisions {
 		a := p.Op.Indices()[d.Index]
-		is := st.Index[a.Name()]
+		is, bm, _ := effectiveIndexStats(a, st.Index[a.Name()])
 		switch d.Strategy {
 		case Baseline:
 			total += costBaseline(st, is, env)
@@ -300,8 +343,50 @@ func PlanCost(p OperatorPlan, st *OperatorStats, env Env) float64 {
 			total += costRepartAt(d.Boundary, st, is, env, spreEff, smin)
 		case IndexLocality:
 			total += costIdxLoc(st, is, env, spreEff)
+		case Build:
+			total += costBuild(st, is, env, bm)
 		}
 		spreEff += is.Nik * (is.Sik + is.Siv)
 	}
 	return total
+}
+
+// planBuildCredit is the amortized future payoff of an operator plan's
+// build decisions: BuildHorizon × the per-future-run savings of the
+// splits this run would commit. The mid-job re-optimization comparison
+// subtracts it from both sides so a build plan competes on the same
+// amortized ranking the planner used to select it — otherwise "pay a
+// little now, win later" could never be accepted mid-job, since its
+// honest per-run cost always exceeds the cache strategy's.
+func planBuildCredit(p OperatorPlan, st *OperatorStats, env Env, opts PlannerOptions) float64 {
+	h := opts.buildHorizon()
+	if h <= 0 || st == nil {
+		return 0
+	}
+	credit := 0.0
+	for _, d := range p.Decisions {
+		if d.Strategy != Build {
+			continue
+		}
+		a := p.Op.Indices()[d.Index]
+		is, bm, ok := effectiveIndexStats(a, st.Index[a.Name()])
+		if !ok {
+			continue
+		}
+		credit += h * buildSavings(st, is, env, bm)
+	}
+	return credit
+}
+
+// planHasBuild reports whether any decision of the plan uses the build
+// strategy (trace instrumentation of the adaptive runtime).
+func planHasBuild(p *JobPlan) bool {
+	for _, op := range p.All() {
+		for _, d := range op.Decisions {
+			if d.Strategy == Build {
+				return true
+			}
+		}
+	}
+	return false
 }

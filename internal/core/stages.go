@@ -1,6 +1,7 @@
 package core
 
 import (
+	"efind/internal/index"
 	"efind/internal/ixclient"
 	"efind/internal/mapreduce"
 	"efind/internal/sim"
@@ -36,7 +37,10 @@ func newOpExec(op *Operator, plan OperatorPlan, conf *IndexJobConf) *opExec {
 	for pos, d := range plan.Decisions {
 		mode := ixclient.CacheOff
 		switch d.Strategy {
-		case LookupCache:
+		case LookupCache, Build:
+			// The build strategy's lookups are cache-fronted like the
+			// lookup-cache strategy (costBuild prices them that way); the
+			// piggyback building itself is a separate map stage.
 			mode = ixclient.CacheReal
 		case Baseline:
 			mode = ixclient.CacheShadow
@@ -389,6 +393,47 @@ func (p *reducePipe) process(pr Pair) { p.emits[0](pr) }
 func (p *reducePipe) close() {
 	for i, s := range p.stages {
 		s.Close(p.ctx, p.emits[i+1])
+	}
+}
+
+// buildStage is the piggyback index builder: a pass-through stage on the
+// main job's map scan that, for offered splits, extracts index entries
+// from the records the task reads anyway and stages them for the
+// post-job commit. The offer set lives on the buildTarget so the
+// adaptive runtime can re-freeze it for subset phases; it is immutable
+// while a job runs, so tasks read it without synchronization. Charges
+// BuildCharge per extracted record — the cost model's BuildCost term —
+// and counts records, staged splits, and charged nanoseconds.
+func buildStage(bt *buildTarget) mapreduce.StageFactory {
+	op, ix := bt.op, bt.b.Name()
+	return func(node sim.NodeID) mapreduce.Stage {
+		var entries []index.BuildEntry
+		active := false
+		return &mapreduce.FuncStage{
+			OnOpen: func(ctx *mapreduce.TaskContext) {
+				// Split, not TaskID: adaptive plan-change phases run a
+				// subset of splits and the builder must key staging by
+				// the global split number.
+				active = ctx.Kind == mapreduce.MapTask && bt.offer[ctx.Split]
+				entries = nil
+			},
+			OnProcess: func(ctx *mapreduce.TaskContext, in Pair, emit Emit) {
+				if active {
+					entries = append(entries, bt.b.Extract(in.Key, in.Value)...)
+					charge := bt.b.BuildCharge()
+					ctx.Charge(charge)
+					ctx.Inc(ctrBuildRecords(op, ix), 1)
+					ctx.Inc(ctrBuildNS(op, ix), int64(charge*1e9))
+				}
+				emit(in)
+			},
+			OnClose: func(ctx *mapreduce.TaskContext, emit Emit) {
+				if active {
+					bt.b.Stage(ctx.Node, ctx.Split, entries)
+					ctx.Inc(ctrBuildSplits(op, ix), 1)
+				}
+			},
+		}
 	}
 }
 

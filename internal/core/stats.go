@@ -17,7 +17,20 @@ import (
 // live here; the per-index counters are owned by the index client pipeline
 // (internal/ixclient), which maintains them, and are aliased for the
 // statistics collector below.
-func ctrPreIn(op string) string       { return "efind." + op + ".pre.in.records" }
+func ctrPreIn(op string) string { return "efind." + op + ".pre.in.records" }
+
+// Piggyback-build counters (adaptive index creation). The time counter
+// deliberately ends in ".build.ns", not ".serve.ns": the job service's
+// tenant budgets sum every ".serve.ns" counter, and build time is a
+// deliberate investment, not serve traffic.
+func ctrBuildRecords(op, ix string) string { return "efind." + op + "." + ix + ".build.records" }
+func ctrBuildSplits(op, ix string) string  { return "efind." + op + "." + ix + ".build.splits" }
+func ctrBuildNS(op, ix string) string      { return "efind." + op + "." + ix + ".build.ns" }
+
+// CtrBuildCommitted counts the splits committed into buildable indices
+// at the job's post-run serial point.
+const CtrBuildCommitted = "efind.build.splits.committed"
+
 func ctrPreInBytes(op string) string  { return "efind." + op + ".pre.in.bytes" }
 func ctrPreOutBytes(op string) string { return "efind." + op + ".pre.out.bytes" }
 func ctrIdxBytes(op string) string    { return "efind." + op + ".idx.out.bytes" }

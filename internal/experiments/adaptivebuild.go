@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"efind/internal/adaptix"
+	"efind/internal/core"
+	"efind/internal/dfs"
+	"efind/internal/index"
+	"efind/internal/jobsvc"
+	"efind/internal/kvstore"
+	"efind/internal/mapreduce"
+	"efind/internal/workloads"
+)
+
+// The adaptive-build experiment runs the Fig. 11(f) synthetic query
+// family repeatedly through the job service against an index that does
+// not exist yet: an adaptix.Buildable whose store starts empty and whose
+// scan fallback prices every lookup at scan cost. Each run's planner
+// weighs "build now, win later" (the fifth strategy) against the four
+// classic strategies; chosen builds piggyback on the map scan, commit
+// between jobs, and shrink the next run's serve time, so the per-run
+// makespan converges from scan-cost to the indexed plan's cost. The
+// cost model's predicted break-even run is checked against the observed
+// crossover versus a leg that never builds.
+
+// abRuns is how many times each leg repeats the query. The offer rate
+// covers the input in ceil(1/abOfferRate) runs, so the tail of the
+// sequence shows the converged steady state.
+const abRuns = 8
+
+// abOfferRate is the fraction of input splits one run offers to build
+// (LIAH's rho): 0.25 converges in four runs.
+const abOfferRate = 0.25
+
+// abIndexName names the buildable index; distinct from the generator's
+// pre-built "syn-index", which this experiment deliberately ignores.
+const abIndexName = "syn-adx"
+
+// Fixed build geometry, independent of calibration so the CI-gated
+// per-run gauges stay stable: the store's fully-built serve time, the
+// per-lookup penalty of one uncovered split, and the per-record charge
+// of the piggyback build stage.
+const (
+	abStoreServe = 0.0008
+	abScanTime   = 5e-5
+	abBuildTime  = 2e-5
+)
+
+// abExtract derives the index entry of one scanned synthetic record.
+// The value depends only on the key, so lookups return identical values
+// whether a key's records were served from the store or the scan
+// fallback — outputs are comparable at every coverage.
+func abExtract(_, value string) []index.BuildEntry {
+	k := workloads.SyntheticKey(value)
+	return []index.BuildEntry{{Key: k, Value: "ix(" + k + ")"}}
+}
+
+// abOperator is synOperator with the buildable accessor in place of the
+// pre-built store.
+func abOperator(bix *adaptix.Buildable) *core.Operator {
+	op := core.NewOperator("syn",
+		func(in core.Pair) core.PreResult {
+			return core.PreResult{Pair: in, Keys: [][]string{{workloads.SyntheticKey(in.Value)}}}
+		},
+		func(pair core.Pair, results [][]core.KeyResult, emit core.Emit) {
+			joined := ""
+			if len(results[0]) > 0 && len(results[0][0].Values) > 0 {
+				joined = results[0][0].Values[0]
+			}
+			emit(core.Pair{Key: pair.Key, Value: pair.Value + "\x00" + joined})
+		})
+	op.AddIndex(bix)
+	return op
+}
+
+// abConf composes one run of the query family over the buildable index.
+func abConf(name string, input *dfs.File, bix *adaptix.Buildable, mode core.Mode) *core.IndexJobConf {
+	conf := &core.IndexJobConf{
+		Name:  name,
+		Input: input,
+		Mode:  mode,
+		Mapper: func(_ *mapreduce.TaskContext, in core.Pair, emit core.Emit) {
+			emit(in)
+		},
+		Reducer:           mapreduce.IdentityReduce,
+		VarianceThreshold: experimentVarianceThreshold,
+	}
+	conf.AddHeadIndexOperator(abOperator(bix))
+	return conf
+}
+
+// abLeg is one leg's measurements: per-run makespans and committed
+// splits, the plans chosen, the final registry coverage, and — for the
+// building leg — the cost model's break-even prediction.
+type abLeg struct {
+	makespans  []float64
+	committed  []int64
+	plans      []string
+	outputs    []uint64
+	covered    int
+	total      int
+	predicted  int
+	altCost    float64
+	firstPlan  string
+	steadyPlan string
+}
+
+// abOutputHash fingerprints a run's output records order-insensitively
+// (sorted), so legs whose optimizers chose different plan shapes can
+// still be compared on content.
+func abOutputHash(out *dfs.File) uint64 {
+	recs := append([]dfs.Record(nil), out.All()...)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Value < recs[j].Value
+	})
+	h := fnv.New64a()
+	for _, r := range recs {
+		h.Write([]byte(r.Key))
+		h.Write([]byte{0})
+		h.Write([]byte(r.Value))
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+// runAdaptiveLeg runs one leg in a fresh lab: `runs` identical
+// ModeOptimized submissions of the query family through a single-tenant
+// job service (MaxInFlight 1, so coverage grows strictly between runs).
+// offerRate 0 never builds; prebuilt additionally bulk-builds the index
+// before the first run (the convergence target).
+func runAdaptiveLeg(scale Scale, label string, offerRate float64, prebuilt bool, runs int) (*abLeg, error) {
+	section("adaptive-build/" + label)
+	l := newLab()
+	cfg := synScaleConfig(scale, 1024)
+	l.fs.ChunkTarget = chunkTargetFor(scale.SynRecords * (cfg.ValueSize + 30))
+	input, _, err := generateSyn(l, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := adaptix.NewRegistry()
+	store := kvstore.NewHash(l.cluster, abIndexName, 16, 3, abStoreServe)
+	bix, err := adaptix.New(adaptix.Config{
+		Name:      abIndexName,
+		Source:    input,
+		Extract:   abExtract,
+		Store:     store,
+		Registry:  reg,
+		ScanTime:  abScanTime,
+		BuildTime: abBuildTime,
+		OfferRate: offerRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if prebuilt {
+		if err := bix.BuildAll(); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := l.rt.CollectStats(abConf("ab-"+label+"-stats", input, bix, core.ModeBaseline)); err != nil {
+		return nil, err
+	}
+
+	leg := &abLeg{predicted: -1}
+	// The break-even prediction is made once, up front, from the same
+	// inputs the first run's planner will see: the collected statistics,
+	// the registry's (empty) coverage, and the best non-build plan as the
+	// alternative.
+	if offerRate > 0 && !prebuilt {
+		st := l.rt.Catalog.Get("syn")
+		if st == nil {
+			return nil, fmt.Errorf("adaptive-build/%s: no statistics for operator syn", label)
+		}
+		is := st.Index[abIndexName]
+		covered, total := bix.BuildProgress()
+		offer := len(bix.OfferSplits())
+		if offer > total-covered {
+			offer = total - covered
+		}
+		m := core.BuildModel{
+			Covered: covered, Total: total,
+			ScanTime: abScanTime, BuildTime: abBuildTime,
+			Offer: offer, TjIdx: store.ServeTime(),
+		}
+		is.Tj = m.TjAt(covered)
+		alt := core.OptimizeOperator(abOperator(bix), core.HeadOp, st, l.rt.Env, core.PlannerOptions{BuildHorizon: -1})
+		leg.altCost = alt.Cost
+		leg.predicted = core.PredictBuildRuns(st, is, l.rt.Env, m, alt.Cost, runs)
+	}
+
+	tenants := []jobsvc.TenantConfig{{Name: "ab", MaxInFlight: 1}}
+	var subs []jobsvc.Submission
+	for i := 0; i < runs; i++ {
+		subs = append(subs, jobsvc.Submission{
+			Tenant: "ab",
+			At:     0.05 * float64(i),
+			Conf:   abConf(fmt.Sprintf("ab-%s-%d", label, i), input, bix, core.ModeOptimized),
+		})
+	}
+	svc, err := jobsvc.New(l.rt, tenants, jobsvc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range svc.Run(subs) {
+		if st.State != jobsvc.JobCompleted {
+			return nil, fmt.Errorf("adaptive-build/%s: job %s %s: %s%v", label, st.Name, st.State, st.Reason, st.Err)
+		}
+		leg.makespans = append(leg.makespans, st.Makespan())
+		leg.committed = append(leg.committed, st.Result.Counters[core.CtrBuildCommitted])
+		leg.plans = append(leg.plans, st.Result.Plan.String())
+		leg.outputs = append(leg.outputs, abOutputHash(st.Result.Output))
+	}
+	leg.covered, leg.total = bix.BuildProgress()
+	leg.firstPlan = leg.plans[0]
+	leg.steadyPlan = leg.plans[len(leg.plans)-1]
+	return leg, nil
+}
+
+// AdaptiveBuild runs the adaptive index creation experiment: the same
+// synthetic query abRuns times under three legs — adaptive (builds as a
+// side-effect), scan-only (never builds; the honest alternative), and
+// prebuilt (the index bulk-built up front; the convergence target). The
+// experiment itself enforces the reproduction claims: full coverage,
+// monotone per-run makespans, convergence to within 10% of the prebuilt
+// leg, identical outputs everywhere, and a predicted break-even within
+// ±1 run of the observed crossover.
+func AdaptiveBuild(scale Scale) (*Table, error) {
+	adaptive, err := runAdaptiveLeg(scale, "adaptive", abOfferRate, false, abRuns)
+	if err != nil {
+		return nil, err
+	}
+	scanonly, err := runAdaptiveLeg(scale, "scan-only", 0, false, abRuns)
+	if err != nil {
+		return nil, err
+	}
+	prebuilt, err := runAdaptiveLeg(scale, "prebuilt", 0, true, abRuns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every run of every leg computes the same join.
+	want := prebuilt.outputs[0]
+	for _, leg := range []*abLeg{adaptive, scanonly, prebuilt} {
+		for k, h := range leg.outputs {
+			if h != want {
+				return nil, fmt.Errorf("adaptive-build: output diverged (run %d, hash %x vs %x)", k+1, h, want)
+			}
+		}
+	}
+
+	if adaptive.covered != adaptive.total || adaptive.total == 0 {
+		return nil, fmt.Errorf("adaptive-build: coverage %d/%d after %d runs; build never completed",
+			adaptive.covered, adaptive.total, abRuns)
+	}
+	if scanonly.covered != 0 {
+		return nil, fmt.Errorf("adaptive-build: scan-only leg built %d splits; offer rate 0 must never build", scanonly.covered)
+	}
+
+	// Convergence: monotone (small tolerance for plan-shape switches at
+	// full coverage) down to within 10% of the prebuilt plan's makespan.
+	for k := 1; k < len(adaptive.makespans); k++ {
+		if adaptive.makespans[k] > adaptive.makespans[k-1]*1.01 {
+			return nil, fmt.Errorf("adaptive-build: makespan rose at run %d: %.4f -> %.4f",
+				k+1, adaptive.makespans[k-1], adaptive.makespans[k])
+		}
+	}
+	final := adaptive.makespans[abRuns-1]
+	target := prebuilt.makespans[abRuns-1]
+	if final > target*1.10 {
+		return nil, fmt.Errorf("adaptive-build: converged makespan %.4f not within 10%% of prebuilt %.4f", final, target)
+	}
+
+	// Break-even: the first run where the building leg's cumulative cost
+	// dips under the never-building leg's, versus the model's prediction.
+	observed := -1
+	cumA, cumS := 0.0, 0.0
+	for k := 0; k < abRuns; k++ {
+		cumA += adaptive.makespans[k]
+		cumS += scanonly.makespans[k]
+		if observed < 0 && cumA <= cumS {
+			observed = k + 1
+		}
+	}
+	if observed < 0 {
+		return nil, fmt.Errorf("adaptive-build: no observed break-even within %d runs (cum %.4f vs %.4f)", abRuns, cumA, cumS)
+	}
+	if adaptive.predicted < 0 {
+		return nil, fmt.Errorf("adaptive-build: model predicts no break-even within %d runs (observed %d)", abRuns, observed)
+	}
+	if d := observed - adaptive.predicted; d < -1 || d > 1 {
+		return nil, fmt.Errorf("adaptive-build: predicted break-even run %d vs observed %d (tolerance ±1)",
+			adaptive.predicted, observed)
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Adaptive build: %d runs of the Fig. 11(f) query — makespan (virtual s) and committed splits per run", abRuns),
+		Columns: []string{"adaptive", "scanonly", "prebuilt", "committed"},
+	}
+	for k := 0; k < abRuns; k++ {
+		t.Add(fmt.Sprintf("run%d", k+1),
+			adaptive.makespans[k], scanonly.makespans[k], prebuilt.makespans[k],
+			float64(adaptive.committed[k]))
+		gauge(fmt.Sprintf("adaptivebuild.run%d.makespan.vms", k+1), adaptive.makespans[k]*1000)
+	}
+	gauge("adaptivebuild.prebuilt.makespan.vms", target*1000)
+	gauge("adaptivebuild.breakeven.runs", float64(observed))
+
+	t.Note("coverage %d/%d splits after %d runs; first plan %s; steady plan %s",
+		adaptive.covered, adaptive.total, abRuns, adaptive.firstPlan, adaptive.steadyPlan)
+	t.Note("break-even: model predicts run %d (alternative %.4f s/run), observed run %d",
+		adaptive.predicted, adaptive.altCost, observed)
+	t.Note("convergence: run1 %.4f -> run%d %.4f (%.2fx), prebuilt plan %.4f",
+		adaptive.makespans[0], abRuns, final, adaptive.makespans[0]/final, target)
+	return t, nil
+}

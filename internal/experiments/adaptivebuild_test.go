@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveBuildConvergence pins the adaptive index creation claims
+// at quick scale. AdaptiveBuild itself enforces the hard acceptance
+// criteria (full coverage, monotone makespans, ±1-run break-even,
+// within-10%-of-prebuilt convergence, identical outputs) and returns an
+// error when any fails; the test adds the relative-shape assertions.
+func TestAdaptiveBuildConvergence(t *testing.T) {
+	tbl, err := AdaptiveBuild(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != abRuns {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), abRuns)
+	}
+
+	first := mustCell(t, tbl, "run1", "adaptive")
+	last := mustCell(t, tbl, "run"+itoa(abRuns), "adaptive")
+	prebuilt := mustCell(t, tbl, "run"+itoa(abRuns), "prebuilt")
+	scan := mustCell(t, tbl, "run"+itoa(abRuns), "scanonly")
+
+	// The first run pays for building on top of scan-cost serving; the
+	// converged run must be dramatically cheaper, and cheaper than the
+	// never-building alternative.
+	if first/last < 2 {
+		t.Fatalf("convergence too shallow: run1 %.4f vs run%d %.4f", first, abRuns, last)
+	}
+	if last >= scan {
+		t.Fatalf("converged run (%.4f) should beat the scan-only leg (%.4f)", last, scan)
+	}
+	if last > prebuilt*1.10 {
+		t.Fatalf("converged run (%.4f) not within 10%% of prebuilt (%.4f)", last, prebuilt)
+	}
+
+	// The building leg commits its offered splits every run until the
+	// registry is complete, then stops.
+	total := 0.0
+	for k := 1; k <= abRuns; k++ {
+		total += mustCell(t, tbl, "run"+itoa(k), "committed")
+	}
+	if total == 0 {
+		t.Fatal("no splits were ever committed")
+	}
+	if c := mustCell(t, tbl, "run"+itoa(abRuns), "committed"); c != 0 {
+		t.Fatalf("final run still committed %v splits; build should have completed", c)
+	}
+
+	// The scan-only leg is steady: identical plans at identical coverage
+	// (tolerance for float rounding at different virtual admission times).
+	scanFirst := mustCell(t, tbl, "run1", "scanonly")
+	if d := scanFirst - scan; d < -1e-6*scan || d > 1e-6*scan {
+		t.Fatalf("scan-only leg drifted: run1 %.9f vs run%d %.9f", scanFirst, abRuns, scan)
+	}
+}

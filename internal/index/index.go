@@ -69,6 +69,60 @@ type Prober interface {
 	Probe(key string) (found bool, valueBytes int, err error)
 }
 
+// BuildEntry is one index entry extracted from a scanned record by a
+// buildable index (key → value, like a Put).
+type BuildEntry struct {
+	Key, Value string
+}
+
+// Buildable is implemented by indices that can be built incrementally as
+// a side-effect of map scans (HAIL/LIAH-style adaptive indexing,
+// internal/adaptix). A buildable index is usable at any build coverage:
+// Lookup serves covered splits from the built structure and falls back
+// to scanning the uncovered remainder, so results are always exact —
+// only ServeTime changes as coverage grows.
+//
+// The engine-facing protocol: the plan compiler asks OfferSplits for the
+// splits this run should build, the piggyback map stage extracts entries
+// from the records it scans anyway and Stages them per (node, split),
+// and the runtime Commits the staged splits at one serial point after
+// the job (or Abandons them on failure). SnapshotBuild/ResetBuild mirror
+// the lookup caches' attempt-guard and node-crash hooks so failed or
+// speculative attempts never leak half-scanned splits into the index.
+type Buildable interface {
+	Accessor
+	// BuildProgress returns how many of the total build units (input
+	// splits) have been committed.
+	BuildProgress() (covered, total int)
+	// IsBuilt reports whether one build unit is committed (the plan
+	// compiler uses it to re-freeze offer sets for subset phases).
+	IsBuilt(split int) bool
+	// ScanServeTime is the extra serve time per lookup per uncovered
+	// split (the scan fallback's share of Tj).
+	ScanServeTime() float64
+	// BuildCharge is the virtual time the piggyback build stage charges
+	// per scanned record of an offered split.
+	BuildCharge() float64
+	// OfferSplits returns the splits one run offers to build: the
+	// lowest-numbered uncovered splits, capped by the index's offer rate.
+	OfferSplits() []int
+	// Extract derives the index entries of one scanned record.
+	Extract(key, value string) []BuildEntry
+	// Stage records the entries of one fully scanned split, pre-commit.
+	Stage(node sim.NodeID, split int, entries []BuildEntry)
+	// SnapshotBuild marks the node's staging state ahead of a task
+	// attempt; the returned rollback discards entries staged since.
+	SnapshotBuild(node sim.NodeID) func()
+	// ResetBuild discards everything the node has staged (node crash).
+	ResetBuild(node sim.NodeID)
+	// Commit installs the staged splits into the index and its registry,
+	// returning how many splits became covered. Must be called at a
+	// serial point (between jobs).
+	Commit() int
+	// Abandon discards all staged state without committing (job failure).
+	Abandon()
+}
+
 // ErrTransient marks an index error as retryable: accessors wrap it
 // (fmt.Errorf("...: %w", index.ErrTransient)) to tell the client's retry
 // middleware that re-attempting the lookup could succeed. Errors not

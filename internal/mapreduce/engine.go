@@ -273,6 +273,7 @@ func firstError(errs []error) error {
 // can ask "what time is it?" (index outage windows).
 func (e *Engine) runMapTask(job *Job, taskID, split int, chunk *dfs.Chunk, node sim.NodeID, absStart float64) (*MapOutput, TaskStats) {
 	ctx := NewTaskContext(e.Cluster, node, taskID, MapTask)
+	ctx.Split = split
 	ctx.base = absStart
 	if e.Trace != nil {
 		ctx.EnableSpans()

@@ -107,6 +107,13 @@ type TaskContext struct {
 	Node sim.NodeID
 	// TaskID is the task's index within its phase.
 	TaskID int
+	// Split is the input split a map task reads. It differs from TaskID
+	// when a phase runs a subset of splits (Job.Splits, adaptive
+	// plan-change phases): TaskID is then the position within the subset
+	// while Split stays the global split number. Stages that key state by
+	// input split — the piggyback index builder — must use Split. For
+	// reduce tasks it equals TaskID (the reducer index).
+	Split int
 	// Kind is MapTask or ReduceTask.
 	Kind TaskKind
 
@@ -125,6 +132,7 @@ func NewTaskContext(cluster *sim.Cluster, node sim.NodeID, id int, kind TaskKind
 	return &TaskContext{
 		Node:     node,
 		TaskID:   id,
+		Split:    id,
 		Kind:     kind,
 		cluster:  cluster,
 		counters: make(map[string]int64),
