@@ -15,6 +15,7 @@
 //	                                           # fifth strategy's BuildCost
 //	                                           # term and break-even run
 //	efind-plan -profile BENCH_ci.json          # render a bench profile
+//	efind-plan -wal /var/efind/journal         # inspect a job-service WAL
 //
 // With -build-total > 0 the modeled index is buildable (registry coverage
 // -build-covered of -build-total splits): -tj becomes the fully-built
@@ -28,6 +29,11 @@
 // written by `efind-bench -profile` as a human-readable report: per-stage
 // virtual times, per-index modeled-vs-observed costs, and the sorted
 // counter/gauge snapshot.
+//
+// With -wal, the tool renders a durable job service's write-ahead
+// journal directory: one line per record (admissions, grants, phase
+// ends, completions, checkpoints), and a final marker when the journal
+// ends in a torn frame — the signature of a crash mid-append.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 
 	"efind/internal/core"
 	"efind/internal/index"
+	"efind/internal/jobsvc"
 	"efind/internal/obs"
 	"efind/internal/sim"
 )
@@ -45,6 +52,7 @@ import (
 func main() {
 	var (
 		profile = flag.String("profile", "", "render this BENCH profile JSON instead of running the what-if model")
+		walDir  = flag.String("wal", "", "render this job-service journal directory instead of running the what-if model")
 		explain = flag.Bool("explain", true, "print the per-strategy cost breakdown (false: chosen plan only)")
 		n1      = flag.Float64("n1", 50000, "records per parallel lookup lane (Table 1's N1)")
 		nik     = flag.Float64("nik", 1, "average lookup keys per record (Nik)")
@@ -77,6 +85,18 @@ func main() {
 			os.Exit(1)
 		}
 		for _, line := range core.RenderProfile(p) {
+			fmt.Println(line)
+		}
+		return
+	}
+
+	if *walDir != "" {
+		lines, err := jobsvc.DescribeJournal(*walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "efind-plan: %v\n", err)
+			os.Exit(1)
+		}
+		for _, line := range lines {
 			fmt.Println(line)
 		}
 		return

@@ -63,6 +63,10 @@ type Buildable struct {
 	mu      sync.Mutex
 	staged  map[int]*stagedSplit
 	journal map[sim.NodeID][]int
+	// resident tracks splits whose entries this process has put into the
+	// store (via Commit, BuildAll, or Materialize), so Materialize never
+	// double-inserts what is already being served.
+	resident map[int]bool
 	// scans memoizes the per-split scan fallback: split → extracted
 	// key → values in record order. Entries are dropped once a split
 	// commits (the store serves it from then on).
@@ -88,11 +92,12 @@ func New(cfg Config) (*Buildable, error) {
 		return nil, fmt.Errorf("adaptix: Config.Registry required")
 	}
 	b := &Buildable{
-		cfg:     cfg,
-		total:   len(cfg.Source.Chunks),
-		staged:  make(map[int]*stagedSplit),
-		journal: make(map[sim.NodeID][]int),
-		scans:   make(map[int]map[string][]string),
+		cfg:      cfg,
+		total:    len(cfg.Source.Chunks),
+		staged:   make(map[int]*stagedSplit),
+		journal:  make(map[sim.NodeID][]int),
+		scans:    make(map[int]map[string][]string),
+		resident: make(map[int]bool),
 	}
 	cfg.Registry.Register(cfg.Name, b.total)
 	return b, nil
@@ -286,6 +291,7 @@ func (b *Buildable) Commit() int {
 			built++
 		}
 		b.mu.Lock()
+		b.resident[s] = true
 		delete(b.scans, s)
 		b.mu.Unlock()
 	}
@@ -308,6 +314,37 @@ func (b *Buildable) Staged() int {
 	return len(b.staged)
 }
 
+// Materialize re-extracts every registry-covered split into the store.
+// A recovered coordinator restores registry coverage from its durable
+// checkpoint, but the store behind the index is rebuilt fresh; replaying
+// the deterministic Extract over exactly the covered splits reproduces
+// the entries the pre-crash commits installed, bit for bit. Splits this
+// process already put into the store (a prior Materialize or Commit) are
+// skipped, so the call is idempotent.
+func (b *Buildable) Materialize() error {
+	for _, s := range b.cfg.Registry.CoveredSplits(b.cfg.Name) {
+		b.mu.Lock()
+		done := b.resident[s]
+		b.mu.Unlock()
+		if done {
+			continue
+		}
+		recs, err := b.cfg.Source.Chunks[s].Records()
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			for _, e := range b.cfg.Extract(rec.Key, rec.Value) {
+				b.cfg.Store.Put(e.Key, e.Value)
+			}
+		}
+		b.mu.Lock()
+		b.resident[s] = true
+		b.mu.Unlock()
+	}
+	return nil
+}
+
 // BuildAll scans and commits every uncovered split immediately — the
 // offline bulk build an experiment's pre-built leg uses as the
 // convergence target.
@@ -323,6 +360,9 @@ func (b *Buildable) BuildAll() error {
 			}
 		}
 		b.cfg.Registry.MarkBuilt(b.cfg.Name, s)
+		b.mu.Lock()
+		b.resident[s] = true
+		b.mu.Unlock()
 	}
 	return nil
 }

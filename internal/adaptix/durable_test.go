@@ -1,0 +1,150 @@
+package adaptix
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"efind/internal/chaos"
+	"efind/internal/vfs"
+)
+
+// TestSaveFaultsNeverYieldPhantomSplits drives the registry save through
+// every injected write fault at a mid-commit moment: coverage has grown
+// in memory, the save of the new coverage dies, and the durable file must
+// still hold exactly the last successfully saved coverage. A phantom
+// split — the registry claiming a split is built when its entries never
+// became durable — would silently corrupt every future lookup that
+// trusts coverage, so this is the invariant the fault matrix pins.
+func TestSaveFaultsNeverYieldPhantomSplits(t *testing.T) {
+	for _, kind := range []chaos.FaultKind{chaos.TornWrite, chaos.ShortWrite, chaos.NoSpace, chaos.RenameFail} {
+		t.Run(kind.String(), func(t *testing.T) {
+			reg := NewRegistry()
+			b, _, f := testIndex(t, reg, 200, 10)
+			total := len(f.Chunks)
+			if total < 3 {
+				t.Fatalf("need ≥3 chunks, got %d", total)
+			}
+
+			// Commit split 0 and save: the last durable coverage.
+			scanAndStage(t, b, f, 1, 0)
+			b.Commit()
+			path := filepath.Join(t.TempDir(), "registry.fmc1")
+			if err := reg.Save(path); err != nil {
+				t.Fatal(err)
+			}
+
+			// Coverage grows in memory, then the save of it dies.
+			scanAndStage(t, b, f, 2, 1)
+			scanAndStage(t, b, f, 2, 2)
+			b.Commit()
+			match := ".fstore-"
+			if kind == chaos.RenameFail {
+				match = "registry.fmc1"
+			}
+			ffs := chaos.NewFaultFS(vfs.OS{}, chaos.FileFault{Kind: kind, Match: match})
+			if err := reg.SaveFS(ffs, path); err == nil {
+				t.Fatalf("%v during save must surface as an error", kind)
+			}
+
+			// A recovering process loads the file: exactly split 0, no
+			// phantom coverage from the failed save.
+			fresh := NewRegistry()
+			if err := fresh.Load(path); err != nil {
+				t.Fatalf("last durable registry unreadable after %v: %v", kind, err)
+			}
+			if got := fresh.CoveredSplits("bix"); !reflect.DeepEqual(got, []int{0}) {
+				t.Fatalf("recovered coverage = %v, want [0] — %v leaked phantom splits", got, kind)
+			}
+			if _, tot := fresh.Covered("bix"); tot != total {
+				t.Fatalf("recovered total = %d, want %d", tot, total)
+			}
+
+			// The retry (fault was one-shot) persists the full coverage.
+			if err := reg.SaveFS(ffs, path); err != nil {
+				t.Fatalf("retry save: %v", err)
+			}
+			fresh2 := NewRegistry()
+			if err := fresh2.Load(path); err != nil {
+				t.Fatal(err)
+			}
+			if got := fresh2.CoveredSplits("bix"); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+				t.Fatalf("post-retry coverage = %v, want [0 1 2]", got)
+			}
+		})
+	}
+}
+
+// TestMaterializeReproducesCommittedEntries models the recovery path: the
+// registry's coverage survives a crash (via checkpoint or Save) but the
+// in-memory kvstore's entries do not. Materialize on a fresh Buildable
+// must re-extract the covered splits so every lookup answers exactly as
+// the pre-crash index did.
+func TestMaterializeReproducesCommittedEntries(t *testing.T) {
+	reg := NewRegistry()
+	b, _, f := testIndex(t, reg, 300, 12)
+	scanAndStage(t, b, f, 1, 0)
+	scanAndStage(t, b, f, 3, 2)
+	b.Commit()
+
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+	}
+	want := make(map[string][]string)
+	for _, k := range keys {
+		vs, err := b.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = vs
+	}
+	wantFP := reg.Fingerprint()
+
+	// Crash: registry persisted, store contents gone.
+	path := filepath.Join(t.TempDir(), "registry.fmc1")
+	if err := reg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewRegistry()
+	if err := reg2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if reg2.Fingerprint() != wantFP {
+		t.Fatalf("registry fingerprint changed across save/load: %s vs %s", reg2.Fingerprint(), wantFP)
+	}
+	b2, _, _ := testIndex(t, reg2, 300, 12)
+	if cov, _ := reg2.Covered("bix"); cov != 2 {
+		t.Fatalf("recovered coverage = %d, want 2", cov)
+	}
+
+	// Before Materialize the store is empty: covered splits would serve
+	// nothing. After, every lookup matches the pre-crash index exactly.
+	if err := b2.Materialize(); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	for _, k := range keys {
+		vs, err := b2.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vs, want[k]) {
+			t.Fatalf("lookup %q after Materialize = %v, want %v", k, vs, want[k])
+		}
+	}
+
+	// Materialize is idempotent: a second pass must not duplicate values.
+	if err := b2.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		vs, err := b2.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vs, want[k]) {
+			t.Fatalf("second Materialize changed lookup %q: %v, want %v", k, vs, want[k])
+		}
+	}
+}

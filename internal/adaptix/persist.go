@@ -6,24 +6,27 @@ import (
 	"strings"
 
 	"efind/internal/fstore"
+	"efind/internal/vfs"
 )
 
 // The registry persists as one fstore snapshot: a version sentinel entry
 // plus one entry per index (key "ix:<name>", revision = total build
 // units, values = the covered splits as decimal strings). fstore's
-// atomic temp+rename write and eager corruption validation apply, so a
-// torn or bit-flipped registry file surfaces as an error at Load rather
-// than as silently inflated completeness.
+// atomic temp+rename write, write-verification, and eager corruption
+// validation apply, so a torn or bit-flipped registry file surfaces as
+// an error at Load (or is refused before the rename replaces the last
+// durable file) rather than as silently inflated completeness.
 const (
 	persistSentinel = "adaptix-registry"
 	persistVersion  = 1
 	persistPrefix   = "ix:"
 )
 
-// Save writes the registry's state to path as an fstore snapshot.
-func (r *Registry) Save(path string) error {
-	b := fstore.NewBuilder()
-	b.Add(persistSentinel, persistVersion)
+// AppendTo adds the registry's state to an fstore builder under the
+// given key prefix — the encoding Save uses, exposed so the job
+// service's checkpoint writer can fold registry coverage into its own
+// snapshot instead of managing a second file.
+func (r *Registry) AppendTo(b *fstore.Builder, prefix string) {
 	for _, name := range r.Names() {
 		_, total := r.Covered(name)
 		covered := r.CoveredSplits(name)
@@ -31,30 +34,22 @@ func (r *Registry) Save(path string) error {
 		for i, s := range covered {
 			vals[i] = strconv.Itoa(s)
 		}
-		b.Add(persistPrefix+name, int64(total), vals...)
+		b.Add(prefix+name, int64(total), vals...)
 	}
-	return b.WriteFile(path)
 }
 
-// Load merges a saved registry into r: indices are registered and their
-// persisted coverage marked built. Coverage already present in r is
-// kept (MarkBuilt is idempotent), so loading after partial in-memory
-// progress unions the two.
-func (r *Registry) Load(path string) error {
-	snap, err := fstore.Open(path, fstore.Options{})
-	if err != nil {
-		return err
-	}
-	defer snap.Close()
-	if _, ok := snap.Find(persistSentinel); !ok {
-		return fmt.Errorf("adaptix: %s is not a registry snapshot", path)
-	}
+// LoadFrom merges registry state stored under prefix in an open snapshot
+// into r: indices are registered and their persisted coverage marked
+// built. Coverage already present in r is kept (MarkBuilt is
+// idempotent), so loading after partial in-memory progress unions the
+// two.
+func (r *Registry) LoadFrom(snap *fstore.Snapshot, prefix string) error {
 	for i := 0; i < snap.Len(); i++ {
 		key := snap.Key(i)
-		if !strings.HasPrefix(key, persistPrefix) {
+		if !strings.HasPrefix(key, prefix) {
 			continue
 		}
-		name := strings.TrimPrefix(key, persistPrefix)
+		name := strings.TrimPrefix(key, prefix)
 		total := int(snap.Revision(i))
 		r.Register(name, total)
 		vals, err := snap.Values(i)
@@ -64,13 +59,41 @@ func (r *Registry) Load(path string) error {
 		for _, v := range vals {
 			s, err := strconv.Atoi(v)
 			if err != nil {
-				return fmt.Errorf("adaptix: registry %s: bad split %q for %s: %v", path, v, name, err)
+				return fmt.Errorf("adaptix: registry %s: bad split %q for %s: %v", snap.Path(), v, name, err)
 			}
 			if s < 0 || s >= total {
-				return fmt.Errorf("adaptix: registry %s: split %d for %s outside [0,%d)", path, s, name, total)
+				return fmt.Errorf("adaptix: registry %s: split %d for %s outside [0,%d)", snap.Path(), s, name, total)
 			}
 			r.MarkBuilt(name, s)
 		}
 	}
 	return nil
+}
+
+// Save writes the registry's state to path as an fstore snapshot.
+func (r *Registry) Save(path string) error {
+	return r.SaveFS(vfs.OS{}, path)
+}
+
+// SaveFS is Save through an explicit filesystem — the fault-injection
+// seam. The write is atomic and read-back-verified, so an injected torn
+// or short write leaves the previous durable registry file untouched.
+func (r *Registry) SaveFS(fs vfs.FS, path string) error {
+	b := fstore.NewBuilder()
+	b.Add(persistSentinel, persistVersion)
+	r.AppendTo(b, persistPrefix)
+	return b.WriteFileFS(fs, path)
+}
+
+// Load merges a saved registry into r (see LoadFrom).
+func (r *Registry) Load(path string) error {
+	snap, err := fstore.Open(path, fstore.Options{})
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	if _, ok := snap.Find(persistSentinel); !ok {
+		return fmt.Errorf("adaptix: %s is not a registry snapshot", path)
+	}
+	return r.LoadFrom(snap, persistPrefix)
 }

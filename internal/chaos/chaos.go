@@ -320,6 +320,13 @@ func (b Backoff) Wait(token string, attempt int) float64 {
 	return d
 }
 
+// Mix derives an independent deterministic stream from seed and salt —
+// the exported form of mix, for callers (like the job service's backoff
+// seeding) that need the same derivation outside this package.
+func Mix(seed, salt int64) int64 {
+	return mix(seed, salt)
+}
+
 // mix is SplitMix64 over the xor of the two operands — a cheap, well
 // distributed way to derive independent deterministic streams from one
 // seed.

@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"efind/internal/vfs"
+)
+
+// Storage fault injection: a vfs.FS wrapper that applies a deterministic
+// schedule of write-path faults, so the durability layer (internal/wal
+// appends, fstore atomic snapshot writes) can be driven through every
+// failure mode a real disk exhibits — without touching the wall clock or
+// the real filesystem's error behaviour. Like the rest of the package it
+// is passive and reproducible: the same schedule against the same write
+// sequence injects the same faults.
+
+// FaultKind is one storage failure mode.
+type FaultKind int
+
+// Storage fault kinds.
+const (
+	// TornWrite writes a prefix of the buffer, then fails: the classic
+	// crash-mid-write profile a journal tail or temp file absorbs.
+	TornWrite FaultKind = iota
+	// ShortWrite writes a prefix of the buffer but LIES, reporting full
+	// success — the firmware-eats-your-data profile only read-back
+	// verification catches.
+	ShortWrite
+	// NoSpace fails the write outright with ErrNoSpace, writing nothing.
+	NoSpace
+	// RenameFail fails the atomic-commit rename with ErrIO.
+	RenameFail
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case TornWrite:
+		return "torn-write"
+	case ShortWrite:
+		return "short-write"
+	case NoSpace:
+		return "enospc"
+	case RenameFail:
+		return "rename-fail"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Injected storage errors.
+var (
+	// ErrNoSpace is the injected out-of-space write failure.
+	ErrNoSpace = errors.New("chaos: no space left on device (injected)")
+	// ErrIO is the injected generic I/O failure (torn writes, renames).
+	ErrIO = errors.New("chaos: input/output error (injected)")
+)
+
+// FileFault schedules one storage fault: the Nth (1-based) matching
+// operation fails with Kind. Write-kind faults count Write calls on
+// files whose name contains Match; RenameFail counts Rename calls whose
+// destination contains Match. An empty Match matches everything.
+type FileFault struct {
+	Kind  FaultKind
+	Match string
+	// Nth selects which matching operation fails (0 = 1 = the first).
+	Nth int
+}
+
+func (f FileFault) nth() int {
+	if f.Nth <= 0 {
+		return 1
+	}
+	return f.Nth
+}
+
+// FaultFS wraps a vfs.FS with a deterministic fault schedule. Safe for
+// concurrent use; each scheduled fault fires exactly once.
+type FaultFS struct {
+	inner  vfs.FS
+	mu     sync.Mutex
+	faults []faultState
+	log    []string
+}
+
+type faultState struct {
+	f     FileFault
+	seen  int
+	fired bool
+}
+
+// NewFaultFS wraps inner with the given schedule.
+func NewFaultFS(inner vfs.FS, faults ...FileFault) *FaultFS {
+	fs := &FaultFS{inner: inner}
+	for _, f := range faults {
+		fs.faults = append(fs.faults, faultState{f: f})
+	}
+	return fs
+}
+
+// SeededFaults derives a deterministic n-fault schedule from a seed: the
+// kinds cycle through the failure modes in a seed-dependent rotation and
+// each fault arms against a distinct ordinal write. It gives fuzz and
+// matrix tests varied-but-reproducible damage without hand-written
+// schedules.
+func SeededFaults(seed int64, n int, match string) []FileFault {
+	kinds := []FaultKind{TornWrite, ShortWrite, NoSpace, RenameFail}
+	out := make([]FileFault, 0, n)
+	for i := 0; i < n; i++ {
+		h := uint64(mix(seed, int64(i)+1))
+		out = append(out, FileFault{
+			Kind:  kinds[h%uint64(len(kinds))],
+			Match: match,
+			Nth:   int(h>>32%4) + 1 + i,
+		})
+	}
+	return out
+}
+
+// Injected returns a description of every fault that has fired, in
+// firing order.
+func (c *FaultFS) Injected() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// arm checks whether an operation on name should fail with one of the
+// given kinds, consuming the scheduled fault if so.
+func (c *FaultFS) arm(name string, kinds ...FaultKind) (FaultKind, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.faults {
+		st := &c.faults[i]
+		if st.fired {
+			continue
+		}
+		match := false
+		for _, k := range kinds {
+			if st.f.Kind == k {
+				match = true
+			}
+		}
+		if !match || !strings.Contains(name, st.f.Match) {
+			continue
+		}
+		st.seen++
+		if st.seen == st.f.nth() {
+			st.fired = true
+			c.log = append(c.log, fmt.Sprintf("%s on %s (op %d)", st.f.Kind, name, st.seen))
+			return st.f.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// MkdirAll implements vfs.FS.
+func (c *FaultFS) MkdirAll(dir string) error { return c.inner.MkdirAll(dir) }
+
+// CreateTemp implements vfs.FS.
+func (c *FaultFS) CreateTemp(dir, pattern string) (vfs.File, error) {
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: c, f: f}, nil
+}
+
+// OpenAppend implements vfs.FS.
+func (c *FaultFS) OpenAppend(path string) (vfs.File, error) {
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: c, f: f}, nil
+}
+
+// Rename implements vfs.FS.
+func (c *FaultFS) Rename(oldpath, newpath string) error {
+	if _, hit := c.arm(newpath, RenameFail); hit {
+		return fmt.Errorf("rename %s: %w", newpath, ErrIO)
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements vfs.FS.
+func (c *FaultFS) Remove(path string) error { return c.inner.Remove(path) }
+
+// ReadFile implements vfs.FS.
+func (c *FaultFS) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+// ReadDir implements vfs.FS.
+func (c *FaultFS) ReadDir(dir string) ([]string, error) { return c.inner.ReadDir(dir) }
+
+// faultFile interposes the write-path faults on one file handle.
+type faultFile struct {
+	fs *FaultFS
+	f  vfs.File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	kind, hit := w.fs.arm(w.f.Name(), TornWrite, ShortWrite, NoSpace)
+	if !hit {
+		return w.f.Write(p)
+	}
+	switch kind {
+	case TornWrite:
+		n, err := w.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("write %s: %w", w.f.Name(), ErrIO)
+	case ShortWrite:
+		if _, err := w.f.Write(p[:len(p)/2]); err != nil {
+			return 0, err
+		}
+		return len(p), nil // the lie: half the bytes, full success
+	default: // NoSpace
+		return 0, fmt.Errorf("write %s: %w", w.f.Name(), ErrNoSpace)
+	}
+}
+
+func (w *faultFile) Sync() error  { return w.f.Sync() }
+func (w *faultFile) Close() error { return w.f.Close() }
+func (w *faultFile) Name() string { return w.f.Name() }

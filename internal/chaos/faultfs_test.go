@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"efind/internal/vfs"
+)
+
+func writeVia(t *testing.T, fs vfs.FS, path string, chunks ...[]byte) error {
+	t.Helper()
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	for _, c := range chunks {
+		if n, err := f.Write(c); err != nil {
+			f.Close()
+			return err
+		} else if n != len(c) {
+			f.Close()
+			return errors.New("short write reported honestly")
+		}
+	}
+	return f.Close()
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(vfs.OS{}, FileFault{Kind: TornWrite, Match: "victim"})
+	path := filepath.Join(dir, "victim.dat")
+	err := writeVia(t, ffs, path, []byte("0123456789"))
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("torn write error = %v, want ErrIO", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Fatalf("torn write left %q on disk, want the half prefix", got)
+	}
+	if inj := ffs.Injected(); len(inj) != 1 {
+		t.Fatalf("Injected() = %v, want one entry", inj)
+	}
+}
+
+func TestFaultFSShortWriteLies(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(vfs.OS{}, FileFault{Kind: ShortWrite, Match: "victim"})
+	path := filepath.Join(dir, "victim.dat")
+	if err := writeVia(t, ffs, path, []byte("0123456789")); err != nil {
+		t.Fatalf("a lying short write must report success, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "01234" {
+		t.Fatalf("short write left %q on disk, want the half prefix", got)
+	}
+}
+
+func TestFaultFSNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(vfs.OS{}, FileFault{Kind: NoSpace, Match: ""})
+	path := filepath.Join(dir, "any.dat")
+	err := writeVia(t, ffs, path, []byte("data"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("error = %v, want ErrNoSpace", err)
+	}
+	got, _ := os.ReadFile(path)
+	if len(got) != 0 {
+		t.Fatalf("ENOSPC wrote %q, want nothing", got)
+	}
+}
+
+func TestFaultFSRenameFailAndNth(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(vfs.OS{},
+		FileFault{Kind: RenameFail, Match: "target", Nth: 2})
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// First matching rename passes, second fails, third passes (one-shot).
+	if err := ffs.Rename(mk("a"), filepath.Join(dir, "target-1")); err != nil {
+		t.Fatalf("rename 1: %v", err)
+	}
+	if err := ffs.Rename(mk("b"), filepath.Join(dir, "target-2")); !errors.Is(err, ErrIO) {
+		t.Fatalf("rename 2 = %v, want ErrIO", err)
+	}
+	if err := ffs.Rename(mk("c"), filepath.Join(dir, "target-3")); err != nil {
+		t.Fatalf("rename 3: %v", err)
+	}
+	// Non-matching destinations are never touched.
+	if err := ffs.Rename(mk("d"), filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("non-matching rename: %v", err)
+	}
+}
+
+func TestFaultFSWriteFaultsCountPerMatch(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(vfs.OS{},
+		FileFault{Kind: TornWrite, Match: "wal", Nth: 3})
+	// Writes to non-matching files do not advance the counter.
+	if err := writeVia(t, ffs, filepath.Join(dir, "other.dat"), []byte("aa"), []byte("bb"), []byte("cc")); err != nil {
+		t.Fatalf("non-matching writes: %v", err)
+	}
+	err := writeVia(t, ffs, filepath.Join(dir, "seg.wal"), []byte("11"), []byte("22"), []byte("33"))
+	if !errors.Is(err, ErrIO) {
+		t.Fatalf("third matching write = %v, want ErrIO", err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "seg.wal"))
+	if string(got) != "11223" {
+		t.Fatalf("disk holds %q, want the first two writes plus the torn half", got)
+	}
+}
+
+func TestSeededFaultsDeterministic(t *testing.T) {
+	a := SeededFaults(42, 5, ".wal")
+	b := SeededFaults(42, 5, ".wal")
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("want 5 faults, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs across same-seed derivations: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Nth < 1 {
+			t.Fatalf("fault %d has Nth %d < 1", i, a[i].Nth)
+		}
+	}
+	c := SeededFaults(43, 5, ".wal")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

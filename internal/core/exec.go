@@ -97,8 +97,9 @@ type IndexJobConf struct {
 	// reducer bucket before the shuffle (Hadoop's combiner); it must be
 	// algebraically compatible with Reducer.
 	Combiner mapreduce.ReduceFunc
-	// NumReduce is the reducer count of the main job (0 = cluster reduce
-	// slots).
+	// NumReduce is the reducer count of the main job (0 =
+	// mapreduce.DefaultNumReduce: all reduce slots on small clusters,
+	// capped near the input's map parallelism on large ones).
 	NumReduce int
 	// OutputName names the final output file ("" = generated).
 	OutputName string
@@ -222,7 +223,7 @@ func (c *IndexJobConf) validate(rt *Runtime) error {
 		return fmt.Errorf("efind: job %q has body/tail operators but no Reducer", c.Name)
 	}
 	if c.Reducer != nil && c.NumReduce <= 0 {
-		c.NumReduce = rt.Engine.Cluster.ReduceSlots()
+		c.NumReduce = mapreduce.DefaultNumReduce(rt.Engine.Cluster, len(c.Input.Chunks))
 	}
 	if c.CacheCapacity <= 0 {
 		c.CacheCapacity = DefaultCacheCapacity
@@ -697,7 +698,9 @@ func compilePlan(rt *Runtime, conf *IndexJobConf, plan *JobPlan) (*compiled, err
 				cur.numReduce = sch.Partitions
 			} else {
 				cur.partition = nil
-				cur.numReduce = rt.Engine.Cluster.ReduceSlots()
+				// The shuffle job re-groups the main input's records, so
+				// its parallelism is bounded by the same map-side width.
+				cur.numReduce = mapreduce.DefaultNumReduce(rt.Engine.Cluster, len(conf.Input.Chunks))
 			}
 
 			next := newJob()

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+
+	"efind/internal/obs"
+)
+
+// TestChaosMultiTenantShape runs a miniature cross-job chaos experiment
+// end to end: all five legs must succeed — including the crash+spec
+// output-identity check and the coordinator crash/Recover leg's
+// bit-identity check buried inside — and the gated per-tenant makespan
+// gauges must be emitted.
+func TestChaosMultiTenantShape(t *testing.T) {
+	tr := obs.NewTrace()
+	SetTrace(tr)
+	defer SetTrace(nil)
+
+	s := QuickScale()
+	s.SynRecords = 3000
+	s.SynKeyDomain = 1500
+	s.ChaosMTNodes = 48
+	s.ChaosMTTenants = 2
+	s.ChaosMTJobs = 3
+	tbl, err := ChaosMultiTenant(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []string{"clean", "crash+spec", "+outage", "durable", "recovered"}
+	if len(tbl.Rows) != len(wantRows) {
+		t.Fatalf("got %d rows, want %d", len(tbl.Rows), len(wantRows))
+	}
+	for i, want := range wantRows {
+		if tbl.Rows[i].Label != want {
+			t.Fatalf("row %d = %q, want %q", i, tbl.Rows[i].Label, want)
+		}
+	}
+	if v, ok := tbl.Cell("crash+spec", "crashes"); !ok || v <= 0 {
+		t.Fatalf("crash+spec crashes = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := tbl.Cell("+outage", "ixerrs"); !ok || v <= 0 {
+		t.Fatalf("+outage ixerrs = %v (ok=%v), want > 0", v, ok)
+	}
+
+	gauges := map[string]float64{}
+	for _, g := range tr.Metrics.Gauges() {
+		gauges[g.Name] = g.Value
+	}
+	for _, name := range []string{
+		"chaosmt.t00.makespan.vms",
+		"chaosmt.t01.makespan.vms",
+		"chaosmt.total.makespan.vms",
+	} {
+		if gauges[name] <= 0 {
+			t.Errorf("gauge %q missing or non-positive: %v", name, gauges[name])
+		}
+	}
+}
+
+// TestChaosMultiTenantRejectsEmptyConfig pins the configuration guard.
+func TestChaosMultiTenantRejectsEmptyConfig(t *testing.T) {
+	if _, err := ChaosMultiTenant(Scale{}); err == nil {
+		t.Fatal("ChaosMultiTenant with no sizes must error")
+	}
+}

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{ID: "adaptive-build", Description: "Adaptive index creation: repeated query converges from scan cost to the indexed plan; break-even matches the cost model", Run: AdaptiveBuild},
 		{ID: "scale-sweep", Description: "Scheduler and engine wall-clock throughput at 100–10k nodes, clean and under chaos", Run: ScaleSweep},
 		{ID: "fstore-sweep", Description: "In-memory vs mmap-snapshot storage backend on the synthetic sweep — same answer required", Run: FStoreSweep},
+		{ID: "chaos-multitenant", Description: "Cross-job chaos at scale: crashes, speculation, and outages across tenants' concurrent jobs, plus coordinator crash recovery — same decisions required", Run: ChaosMultiTenant},
 	}
 }
 

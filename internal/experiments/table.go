@@ -106,6 +106,18 @@ type Scale struct {
 	SweepNodes       []int
 	SweepTasks       int
 	SweepEngineTasks int
+	// Chaos multi-tenant sizes: the shared cluster's node count, the
+	// tenant count, and the jobs each tenant submits (full scale: 64
+	// concurrent jobs on a 10k-node cluster). ChaosMTRecords,
+	// when non-zero, sizes the shared synthetic input the tenants' jobs
+	// query instead of SynRecords — at full scale the experiment's claim
+	// is jobs × nodes, so the per-job input stays moderate to keep the
+	// five-leg run (which re-executes every job up to five times)
+	// bench-budget sized.
+	ChaosMTNodes   int
+	ChaosMTTenants int
+	ChaosMTJobs    int
+	ChaosMTRecords int
 }
 
 // QuickScale is used by tests and benchmarks.
@@ -124,6 +136,9 @@ func QuickScale() Scale {
 		SweepNodes:        []int{100, 1000, 10000},
 		SweepTasks:        100_000,
 		SweepEngineTasks:  20_000,
+		ChaosMTNodes:      96,
+		ChaosMTTenants:    3,
+		ChaosMTJobs:       4,
 	}
 }
 
@@ -143,5 +158,9 @@ func FullScale() Scale {
 		SweepNodes:        []int{100, 1000, 10000},
 		SweepTasks:        1_000_000,
 		SweepEngineTasks:  100_000,
+		ChaosMTNodes:      10_000,
+		ChaosMTTenants:    4,
+		ChaosMTJobs:       16,
+		ChaosMTRecords:    12_000,
 	}
 }

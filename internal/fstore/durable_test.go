@@ -1,0 +1,154 @@
+package fstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"efind/internal/chaos"
+	"efind/internal/vfs"
+)
+
+// tempLeft reports any leftover temp files in dir — an atomic write that
+// failed must clean up after itself.
+func tempLeft(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".fstore-") {
+			left = append(left, e.Name())
+		}
+	}
+	return left
+}
+
+func TestWriteFileFSUnderInjectedFaults(t *testing.T) {
+	mkBuilder := func(tag string) *Builder {
+		b := NewBuilder()
+		b.Add("alpha", 1, "first-"+tag)
+		b.Add("beta", 2, "second-"+tag)
+		return b
+	}
+
+	for _, kind := range []chaos.FaultKind{chaos.TornWrite, chaos.ShortWrite, chaos.NoSpace, chaos.RenameFail} {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "snap.fmc1")
+
+			// A durable generation-1 snapshot the fault must not destroy.
+			if err := mkBuilder("old").WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			oldBytes, _ := os.ReadFile(path)
+
+			match := ".fstore-"
+			if kind == chaos.RenameFail {
+				match = "snap.fmc1"
+			}
+			ffs := chaos.NewFaultFS(vfs.OS{}, chaos.FileFault{Kind: kind, Match: match})
+			err := mkBuilder("new").WriteFileFS(ffs, path)
+			if err == nil {
+				t.Fatalf("%v must surface as an error (even the lying short write, via read-back verification)", kind)
+			}
+			if kind == chaos.ShortWrite && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("short write error = %v, want write-verification ErrCorrupt", err)
+			}
+
+			// The previous durable snapshot is byte-identical and loadable.
+			got, _ := os.ReadFile(path)
+			if string(got) != string(oldBytes) {
+				t.Fatalf("%v damaged the durable snapshot", kind)
+			}
+			s, err := Open(path, Options{})
+			if err != nil {
+				t.Fatalf("durable snapshot unreadable after %v: %v", kind, err)
+			}
+			if _, ok := s.Find("alpha"); !ok {
+				t.Fatalf("durable snapshot lost its entries after %v", kind)
+			}
+			s.Close()
+
+			if left := tempLeft(t, dir); len(left) != 0 {
+				t.Fatalf("%v left temp files behind: %v", kind, left)
+			}
+		})
+	}
+}
+
+func TestWriteFileFSRetrySucceedsAfterFault(t *testing.T) {
+	// One-shot faults model transient storage trouble: the very next
+	// write of the same snapshot must commit cleanly.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.fmc1")
+	b := NewBuilder()
+	b.Add("k", 7, "v")
+	ffs := chaos.NewFaultFS(vfs.OS{}, chaos.FileFault{Kind: chaos.TornWrite, Match: ".fstore-"})
+	if err := b.WriteFileFS(ffs, path); err == nil {
+		t.Fatal("first write should hit the injected fault")
+	}
+	if err := b.WriteFileFS(ffs, path); err != nil {
+		t.Fatalf("retry after one-shot fault: %v", err)
+	}
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if i, ok := s.Find("k"); !ok || s.Revision(i) != 7 {
+		t.Fatalf("retried snapshot contents wrong: i=%d ok=%v", i, ok)
+	}
+}
+
+func TestOpenFailuresLeakNoHandles(t *testing.T) {
+	// Every corruption profile that makes Open fail must release the fd
+	// and mapping: OpenHandles is the process-global leak meter.
+	valid, err := os.ReadFile(writeSnapshot(t, map[string][]string{"a": {"1"}, "b": {"2"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"truncated-header":  func(d []byte) []byte { return d[:20] },
+		"bad-magic":         func(d []byte) []byte { c := append([]byte{}, d...); c[0] ^= 0xff; return c },
+		"flipped-header":    func(d []byte) []byte { c := append([]byte{}, d...); c[12] ^= 0x01; return c },
+		"flipped-tail":      func(d []byte) []byte { c := append([]byte{}, d...); c[len(c)-1] ^= 0xff; return c },
+		"truncated-data":    func(d []byte) []byte { return d[:len(d)-3] },
+		"empty":             func([]byte) []byte { return nil },
+		"grown":             func(d []byte) []byte { return append(append([]byte{}, d...), 0xde, 0xad) },
+		"mid-section-zeros": func(d []byte) []byte { c := append([]byte{}, d...); copy(c[len(c)/2:], make([]byte, 8)); return c },
+	}
+	for name, mutate := range damage {
+		for _, noMmap := range []bool{false, true} {
+			base := OpenHandles()
+			path := filepath.Join(t.TempDir(), name+".fmc1")
+			if err := os.WriteFile(path, mutate(append([]byte{}, valid...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(path, Options{NoMmap: noMmap})
+			if err == nil {
+				// Some single-bit damage may land in slack the checksums do
+				// not cover; if Open accepted it, the handle must still
+				// balance on Close.
+				s.Close()
+			}
+			if got := OpenHandles(); got != base {
+				t.Fatalf("%s (noMmap=%v): OpenHandles = %d, want %d — Open leaked on its error path", name, noMmap, got, base)
+			}
+		}
+	}
+}
+
+func TestOpenMissingFileLeaksNoHandles(t *testing.T) {
+	base := OpenHandles()
+	if _, err := Open(filepath.Join(t.TempDir(), "absent.fmc1"), Options{}); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+	if got := OpenHandles(); got != base {
+		t.Fatalf("OpenHandles = %d, want %d", got, base)
+	}
+}

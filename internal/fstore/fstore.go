@@ -35,13 +35,15 @@
 package fstore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
+
+	"efind/internal/vfs"
 )
 
 // Format constants.
@@ -114,30 +116,62 @@ func (b *Builder) Len() int { return len(b.entries) }
 // the same directory, then rename), so readers never observe a partially
 // written snapshot.
 func (b *Builder) WriteFile(path string) error {
+	return b.WriteFileFS(vfs.OS{}, path)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem — the seam the
+// durability layer threads fault injection through. Before the rename
+// commits the snapshot, the temp file is read back and compared against
+// the encoded bytes: a write that lied about success (a short write
+// acknowledged in full) is caught here, while the last durable snapshot
+// at path is still intact.
+func (b *Builder) WriteFileFS(fs vfs.FS, path string) error {
 	data, err := b.encode()
 	if err != nil {
 		return err
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".fstore-*")
+	tmp, err := fs.CreateTemp(dir, ".fstore-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
+	fail := func(err error) error {
+		fs.Remove(tmpName)
+		return err
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
-		return err
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return err
+		return fail(err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
+	got, err := fs.ReadFile(tmpName)
+	if err != nil {
+		return fail(err)
+	}
+	if !bytes.Equal(got, data) {
+		return fail(corruptf("write verification failed: %d bytes on disk, %d encoded (torn or short write)", len(got), len(data)))
+	}
+	if err := fs.Rename(tmpName, path); err != nil {
+		return fail(err)
 	}
 	return nil
+}
+
+// uvarintLen is the encoded size of v, without encoding it.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // encode renders the snapshot bytes: sorted slots, packed data section,
@@ -160,7 +194,15 @@ func (b *Builder) encode() ([]byte, error) {
 	}
 	slotSize := keySize + slotExtra
 
-	var data []byte
+	// Size the data section up front: append-grown snapshots measured as
+	// the dominant allocation cost of large checkpoints before this.
+	dataSize := 0
+	for _, e := range entries {
+		for _, v := range e.values {
+			dataSize += uvarintLen(uint64(len(v))) + len(v)
+		}
+	}
+	data := make([]byte, 0, dataSize)
 	var varintBuf [binary.MaxVarintLen64]byte
 	slots := make([]byte, len(entries)*slotSize)
 	for i, e := range entries {

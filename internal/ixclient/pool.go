@@ -1,6 +1,7 @@
 package ixclient
 
 import (
+	"sort"
 	"sync"
 
 	"efind/internal/lru"
@@ -107,6 +108,56 @@ func (p *Pool) ResetNode(node sim.NodeID) {
 		if k.node == node {
 			delete(p.caches, k)
 		}
+	}
+}
+
+// PoolEntry is the serializable state of one pooled cache, produced by
+// Dump and consumed by Restore — the job service checkpoints these so a
+// recovered coordinator re-warms the cross-job caches to their exact
+// pre-crash contents (entries in recency order, statistics included).
+type PoolEntry struct {
+	Index        string
+	Node         sim.NodeID
+	Keys         []string // oldest → newest
+	Values       [][]string
+	Hits, Misses int64
+}
+
+// Dump returns every pooled cache's state in deterministic (index, node)
+// order. Empty caches with history (hits/misses) are included; a Dump of
+// a fresh pool is empty.
+func (p *Pool) Dump() []PoolEntry {
+	p.mu.Lock()
+	keys := make([]poolKey, 0, len(p.caches))
+	for k := range p.caches {
+		keys = append(keys, k)
+	}
+	p.mu.Unlock()
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].index != keys[b].index {
+			return keys[a].index < keys[b].index
+		}
+		return keys[a].node < keys[b].node
+	})
+	out := make([]PoolEntry, 0, len(keys))
+	for _, k := range keys {
+		cc := p.cacheFor(k.index, k.node)
+		e := PoolEntry{Index: k.index, Node: k.node}
+		e.Keys, e.Values, e.Hits, e.Misses = cc.Dump()
+		out = append(out, e)
+	}
+	return out
+}
+
+// Restore replaces the pool's contents with a dumped state. Caches not
+// named in entries are dropped.
+func (p *Pool) Restore(entries []PoolEntry) {
+	p.mu.Lock()
+	p.caches = make(map[poolKey]*lru.Cache, len(entries))
+	p.mu.Unlock()
+	for _, e := range entries {
+		cc := p.cacheFor(e.Index, e.Node)
+		cc.Load(e.Keys, e.Values, e.Hits, e.Misses)
 	}
 }
 

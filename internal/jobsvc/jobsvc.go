@@ -130,6 +130,14 @@ type JobStatus struct {
 	// ServeSeconds is the index serve time the job charged, in virtual
 	// seconds — the quantity deducted from the tenant's budget.
 	ServeSeconds float64
+	// OutputFP fingerprints the job's sorted output records (0 when the
+	// job produced no output or the service is not durable). It is what
+	// a recovered coordinator compares instead of the output file.
+	OutputFP uint64
+	// Recovered marks a status restored from a durable checkpoint: the
+	// job did not re-run; Result carries the journaled scalars and
+	// counters but no Output file.
+	Recovered bool
 }
 
 // Makespan returns the job's admitted-to-finished virtual time.
@@ -146,6 +154,10 @@ type Options struct {
 	// which is what makes cross-tenant experiments meaningful: an index
 	// outage window hits whichever tenants' phases overlap it.
 	Chaos *chaos.Plan
+	// Durable, when set, journals every scheduling decision to a
+	// write-ahead log and folds decided state into checkpoint snapshots
+	// at quiescent points, so a crashed coordinator can Recover.
+	Durable *Durability
 }
 
 // Service is the multi-tenant job service over one runtime. Build it
@@ -163,6 +175,9 @@ type Service struct {
 	pending []event // parked phase requests (evReq events)
 	admits  []admit // queued-admission events released by job completions
 	active  int     // admitted, unfinished jobs across all tenants
+
+	jobs []*jobState // the Run trace's jobs, in submission order
+	jl   *journal    // durability state (nil without Options.Durable)
 }
 
 type tenant struct {
@@ -175,10 +190,11 @@ type tenant struct {
 }
 
 type jobState struct {
-	idx    int // submission index; statuses are returned in this order
-	tenant *tenant
-	sub    Submission
-	status JobStatus
+	idx     int // submission index; statuses are returned in this order
+	tenant  *tenant
+	sub     Submission
+	status  JobStatus
+	decided bool // terminal status reached (or restored from a checkpoint)
 }
 
 // admit is a deferred admission: a queued job released at virtual time at.
@@ -218,8 +234,28 @@ type event struct {
 
 // New builds a service over the runtime for the given tenants. The
 // runtime's catalog (registered statistics) is shared by every job, and
-// its engine's cluster provides the slots the service arbitrates.
+// its engine's cluster provides the slots the service arbitrates. With
+// Options.Durable set, the journal directory is created and a fresh
+// journal segment opened.
 func New(rt *core.Runtime, tenants []TenantConfig, opts Options) (*Service, error) {
+	s, err := newService(rt, tenants, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Durable != nil {
+		jl, err := openJournal(opts.Durable)
+		if err != nil {
+			return nil, err
+		}
+		s.jl = jl
+		jl.appendHello(tenantHash(tenants))
+	}
+	return s, nil
+}
+
+// newService builds the service without touching durable state; New and
+// Recover wrap it.
+func newService(rt *core.Runtime, tenants []TenantConfig, opts Options) (*Service, error) {
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("jobsvc: at least one tenant required")
 	}
@@ -255,12 +291,38 @@ func (s *Service) Run(subs []Submission) []JobStatus {
 		jobs[i] = &jobState{idx: i, sub: sub}
 		jobs[i].status = JobStatus{Tenant: sub.Tenant, Name: sub.Conf.Name, Submitted: sub.At}
 	}
-	arrivals := make([]*jobState, len(jobs))
-	copy(arrivals, jobs)
+	s.jobs = jobs
+	if s.jl != nil {
+		s.jl.appendTrace(subsHash(subs), len(subs))
+		// Checkpoint-decided submissions report their cached status and
+		// never arrive: their effect on tenants, ledgers, pool, and
+		// registry was restored wholesale from the checkpoint.
+		for idx, st := range s.jl.decided {
+			if idx < len(jobs) {
+				jobs[idx].status = st
+				jobs[idx].decided = true
+			}
+		}
+	}
+	arrivals := make([]*jobState, 0, len(jobs))
+	for _, j := range jobs {
+		if !j.decided {
+			arrivals = append(arrivals, j)
+		}
+	}
 	sort.SliceStable(arrivals, func(a, b int) bool { return arrivals[a].sub.At < arrivals[b].sub.At })
 
 	next := 0
 	for {
+		// Checkpoints happen only at quiescent points: no admitted job
+		// in flight, no parked phase, no deferred admission. At such a
+		// point every tenant queue is provably empty and all shared soft
+		// state (cache pool, registry, ledgers) sits exactly at a serial
+		// boundary, so the snapshot is a prefix any deterministic re-run
+		// extends bit-identically.
+		if s.jl != nil && s.quiescent() && s.jl.newlyDecided >= s.jl.d.every() {
+			s.writeCheckpoint()
+		}
 		// Candidate events, least virtual time first; admissions beat
 		// grants on ties (an arriving job changes the active set the
 		// grant's fair share is computed from), submission order breaks
@@ -306,6 +368,12 @@ func (s *Service) Run(subs []Submission) []JobStatus {
 
 		switch pick {
 		case pickNone:
+			if s.jl != nil {
+				if s.jl.newlyDecided > 0 {
+					s.writeCheckpoint()
+				}
+				s.jl.close()
+			}
 			return s.statuses(jobs)
 		case pickArrival:
 			j := arrivals[next]
@@ -321,11 +389,40 @@ func (s *Service) Run(subs []Submission) []JobStatus {
 			led := s.ledger(req.taskKind)
 			want := s.wantSlots(req.job, led, req.tasks)
 			start := led.grantTime(req.ready, want)
+			if s.jl != nil {
+				s.jl.appendGrant(req.job.idx, int(req.taskKind), want, req.ready, start)
+			}
 			lease := led.take(want)
 			req.reply <- mapreduce.PhaseGrant{Lease: lease, Start: start}
 			s.drain()
 		}
 	}
+}
+
+// quiescent reports whether the service sits at a global serial point:
+// nothing admitted and unfinished, nothing parked, nothing deferred.
+func (s *Service) quiescent() bool {
+	return s.active == 0 && len(s.pending) == 0 && len(s.admits) == 0
+}
+
+// DurableErr returns the first durability failure (journal append or
+// checkpoint write), or nil. Durability failures never fail the run —
+// the scheduler's decisions stand, they just stop being durable — so
+// callers that care must check this after Run.
+func (s *Service) DurableErr() error {
+	if s.jl == nil {
+		return nil
+	}
+	return s.jl.err
+}
+
+// JournalRecords returns how many records this service appended to its
+// journal (0 without durability).
+func (s *Service) JournalRecords() int {
+	if s.jl == nil || s.jl.log == nil {
+		return 0
+	}
+	return s.jl.log.Records()
 }
 
 func (s *Service) statuses(jobs []*jobState) []JobStatus {
@@ -410,6 +507,11 @@ func (s *Service) pendingAdmits(t *tenant) int {
 func (s *Service) reject(j *jobState, reason string) {
 	j.status.State = JobRejected
 	j.status.Reason = reason
+	j.decided = true
+	if s.jl != nil {
+		s.jl.appendReject(j.idx, reason)
+		s.jl.newlyDecided++
+	}
 }
 
 // start admits a job at virtual time at: it runs the submission on a
@@ -435,6 +537,23 @@ func (s *Service) start(j *jobState, at float64) {
 	if cc.Chaos == nil {
 		cc.Chaos = s.opts.Chaos
 	}
+	if s.jl != nil {
+		// Durable runs pin the retry-jitter ladder: a conf without its
+		// own seed gets one derived from (BackoffSalt, submission
+		// index), journaled at admission. A recovered run replays the
+		// journaled seed — even under a different salt — so its backoff
+		// waits are bit-identical to the original's.
+		seed := cc.Retry.Seed
+		if seed == 0 {
+			if js, ok := s.jl.seeds[j.idx]; ok {
+				seed = js
+			} else {
+				seed = chaos.Mix(s.jl.d.BackoffSalt, int64(j.idx)+1)
+			}
+		}
+		cc.Retry.Seed = seed
+		s.jl.appendAdmit(j.idx, t.seq, ns, at, seed)
+	}
 	conf := &cc
 
 	run := s.rt.Engine.NewServiceRun(mapreduce.RunConfig{
@@ -458,6 +577,9 @@ func (s *Service) drain() {
 		ev := <-s.events
 		switch ev.kind {
 		case evEnd:
+			if s.jl != nil {
+				s.jl.appendEnd(ev.job.idx, int(ev.taskKind), ev.start, ev.end)
+			}
 			s.ledger(ev.taskKind).release(ev.lease, ev.end)
 		case evReq:
 			s.pending = append(s.pending, ev)
@@ -489,6 +611,12 @@ func (s *Service) finish(ev event) {
 	if ev.res != nil {
 		j.status.ServeSeconds = serveSeconds(ev.res.Counters)
 		t.spent += j.status.ServeSeconds
+	}
+	if s.jl != nil {
+		j.status.OutputFP = outputFingerprint(ev.res)
+		j.decided = true
+		s.jl.appendDone(j.idx, s.jl.regFingerprint(), &j.status)
+		s.jl.newlyDecided++
 	}
 	for len(t.queue) > 0 && s.overBudget(t) {
 		queued := t.queue[0]

@@ -1,0 +1,823 @@
+package jobsvc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"path/filepath"
+	"sort"
+
+	"efind/internal/adaptix"
+	"efind/internal/core"
+	"efind/internal/fstore"
+	"efind/internal/ixclient"
+	"efind/internal/sim"
+	"efind/internal/vfs"
+	"efind/internal/wal"
+)
+
+// Durability configures the service's write-ahead journal and
+// checkpointing. With Options.Durable set, the service appends one
+// record per scheduling decision — admission, rejection, lease grant,
+// phase end, job completion — to a wal.Log under Dir, and at quiescent
+// points (no admitted job in flight, no parked phase, no deferred
+// admission) folds all decided state into one fstore checkpoint
+// snapshot. Recover replays checkpoint + journal tail and resumes.
+type Durability struct {
+	// Dir holds the journal segments and checkpoint snapshots.
+	Dir string
+	// FS is the filesystem the journal and checkpoints are written
+	// through (nil = the real one). Chaos tests thread a fault-injecting
+	// chaos.FaultFS here.
+	FS vfs.FS
+	// Sync fsyncs every journal append (slower; crash images in tests
+	// are byte-constructed, so they do not rely on it).
+	Sync bool
+	// CheckpointEvery is how many newly decided jobs accumulate before
+	// the next quiescent point writes a checkpoint (0 = 1: checkpoint at
+	// every eligible quiescent point).
+	CheckpointEvery int
+	// Registry, when set, has its coverage folded into every checkpoint
+	// and restored by Recover — the durable home of adaptive-build
+	// commit points. Uncommitted (staged) splits are never persisted,
+	// so recovery rolls them back by construction.
+	Registry *adaptix.Registry
+	// BackoffSalt seeds the per-job retry-jitter ladder: a job whose
+	// conf carries Retry.Seed == 0 gets a seed derived from (salt,
+	// submission index), journaled at admission. Recover replays the
+	// journaled seed even under a different salt, so a recovered run
+	// walks the exact backoff ladder of the original.
+	BackoffSalt int64
+}
+
+func (d *Durability) fsOrOS() vfs.FS {
+	if d.FS != nil {
+		return d.FS
+	}
+	return vfs.OS{}
+}
+
+func (d *Durability) every() int {
+	if d.CheckpointEvery <= 0 {
+		return 1
+	}
+	return d.CheckpointEvery
+}
+
+// Journal record kinds.
+const (
+	recHello  = 1 // service construction: format version + tenant hash
+	recTrace  = 2 // Run invocation: submission-trace hash + count
+	recAdmit  = 3 // admission: sub index, tenant seq, ID, time, backoff seed
+	recReject = 4 // rejection: sub index, reason
+	recGrant  = 5 // lease grant: sub index, task kind, want, ready, start
+	recEnd    = 6 // phase end: sub index, task kind, start, end
+	recDone   = 7 // job completion: the full reduced status
+	recCkpt   = 8 // checkpoint: snapshot file name + decided count
+)
+
+// journalVersion is the record format version inside recHello.
+const journalVersion = 1
+
+// walEnc builds one record payload.
+type walEnc struct{ b []byte }
+
+func (e *walEnc) u64(v uint64) {
+	var t [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(t[:], v)
+	e.b = append(e.b, t[:n]...)
+}
+
+func (e *walEnc) i64(v int64)    { e.u64(uint64(v)) }
+func (e *walEnc) f64(v float64)  { e.u64(math.Float64bits(v)) }
+func (e *walEnc) boolv(v bool)   { e.u64(map[bool]uint64{false: 0, true: 1}[v]) }
+func (e *walEnc) str(s string)   { e.u64(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *walEnc) cmap(m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.u64(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.i64(m[k])
+	}
+}
+
+// walDec reads one record payload; the first malformed field poisons it.
+type walDec struct {
+	b   []byte
+	err error
+}
+
+func (d *walDec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = errors.New("jobsvc: journal record truncated")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *walDec) i64() int64   { return int64(d.u64()) }
+func (d *walDec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *walDec) boolv() bool  { return d.u64() != 0 }
+func (d *walDec) str() string {
+	l := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < l {
+		d.err = errors.New("jobsvc: journal string truncated")
+		return ""
+	}
+	s := string(d.b[:l])
+	d.b = d.b[l:]
+	return s
+}
+
+func (d *walDec) cmap() map[string]int64 {
+	n := d.u64()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := d.str()
+		m[k] = d.i64()
+	}
+	return m
+}
+
+// encodeStatus renders a decided JobStatus as the stable byte form used
+// both inside recDone records and in checkpoint "sub:" entries. The
+// Recovered flag and the Output file are deliberately not encoded:
+// recovery synthesizes a Result carrying the scalars, counters, and the
+// output fingerprint, and marks the status Recovered itself.
+func encodeStatus(st *JobStatus) []byte {
+	var e walEnc
+	e.u64(uint64(st.State))
+	e.str(st.Tenant)
+	e.str(st.Name)
+	e.str(st.ID)
+	e.str(st.Reason)
+	e.f64(st.Submitted)
+	e.f64(st.Admitted)
+	e.f64(st.Finished)
+	e.f64(st.ServeSeconds)
+	e.u64(st.OutputFP)
+	errMsg := ""
+	if st.Err != nil {
+		errMsg = st.Err.Error()
+	}
+	e.str(errMsg)
+	if r := st.Result; r != nil {
+		e.boolv(true)
+		e.f64(r.VTime)
+		e.u64(uint64(r.JobsRun))
+		e.boolv(r.Replanned)
+		e.str(r.ReplanPhase)
+		e.cmap(r.Counters)
+		e.cmap(r.IndexErrors)
+	} else {
+		e.boolv(false)
+	}
+	return e.b
+}
+
+func decodeStatus(d *walDec) JobStatus {
+	var st JobStatus
+	st.State = JobState(d.u64())
+	st.Tenant = d.str()
+	st.Name = d.str()
+	st.ID = d.str()
+	st.Reason = d.str()
+	st.Submitted = d.f64()
+	st.Admitted = d.f64()
+	st.Finished = d.f64()
+	st.ServeSeconds = d.f64()
+	st.OutputFP = d.u64()
+	if msg := d.str(); msg != "" {
+		st.Err = errors.New(msg)
+	}
+	if d.boolv() {
+		r := &core.JobResult{}
+		r.VTime = d.f64()
+		r.JobsRun = int(d.u64())
+		r.Replanned = d.boolv()
+		r.ReplanPhase = d.str()
+		r.Counters = d.cmap()
+		r.IndexErrors = d.cmap()
+		st.Result = r
+	}
+	return st
+}
+
+// svcRec is one decoded journal record (a tagged union over the kinds).
+type svcRec struct {
+	kind     int
+	subIdx   int
+	seq      int
+	id       string
+	reason   string
+	at       float64
+	seed     int64
+	taskKind int
+	want     int
+	start    float64
+	end      float64
+	hash     uint64
+	n        int
+	file     string
+	st       JobStatus
+	regFP    uint64
+	payload  []byte
+}
+
+// decodeRec parses one journal payload.
+func decodeRec(payload []byte) (svcRec, error) {
+	d := &walDec{b: payload}
+	r := svcRec{payload: payload}
+	r.kind = int(d.u64())
+	switch r.kind {
+	case recHello:
+		r.n = int(d.u64()) // format version
+		r.hash = d.u64()
+	case recTrace:
+		r.hash = d.u64()
+		r.n = int(d.u64())
+	case recAdmit:
+		r.subIdx = int(d.u64())
+		r.seq = int(d.u64())
+		r.id = d.str()
+		r.at = d.f64()
+		r.seed = d.i64()
+	case recReject:
+		r.subIdx = int(d.u64())
+		r.reason = d.str()
+	case recGrant:
+		r.subIdx = int(d.u64())
+		r.taskKind = int(d.u64())
+		r.want = int(d.u64())
+		r.at = d.f64()
+		r.start = d.f64()
+	case recEnd:
+		r.subIdx = int(d.u64())
+		r.taskKind = int(d.u64())
+		r.start = d.f64()
+		r.end = d.f64()
+	case recDone:
+		r.subIdx = int(d.u64())
+		r.regFP = d.u64()
+		r.st = decodeStatus(d)
+	case recCkpt:
+		r.file = d.str()
+		r.n = int(d.u64())
+	default:
+		return r, fmt.Errorf("jobsvc: unknown journal record kind %d", r.kind)
+	}
+	return r, d.err
+}
+
+func recKindName(kind int) string {
+	switch kind {
+	case recHello:
+		return "hello"
+	case recTrace:
+		return "trace"
+	case recAdmit:
+		return "admit"
+	case recReject:
+		return "reject"
+	case recGrant:
+		return "grant"
+	case recEnd:
+		return "end"
+	case recDone:
+		return "done"
+	case recCkpt:
+		return "ckpt"
+	}
+	return fmt.Sprintf("kind(%d)", kind)
+}
+
+// describe renders a decoded record for humans (efind-plan -wal).
+func (r svcRec) describe() string {
+	switch r.kind {
+	case recHello:
+		return fmt.Sprintf("hello   v%d tenants=%016x", r.n, r.hash)
+	case recTrace:
+		return fmt.Sprintf("trace   subs=%d hash=%016x", r.n, r.hash)
+	case recAdmit:
+		return fmt.Sprintf("admit   sub=%d id=%s at=%.6f seed=%d", r.subIdx, r.id, r.at, r.seed)
+	case recReject:
+		return fmt.Sprintf("reject  sub=%d reason=%q", r.subIdx, r.reason)
+	case recGrant:
+		return fmt.Sprintf("grant   sub=%d kind=%d want=%d ready=%.6f start=%.6f", r.subIdx, r.taskKind, r.want, r.at, r.start)
+	case recEnd:
+		return fmt.Sprintf("end     sub=%d kind=%d start=%.6f end=%.6f", r.subIdx, r.taskKind, r.start, r.end)
+	case recDone:
+		return fmt.Sprintf("done    sub=%d state=%s finish=%.6f fp=%016x", r.subIdx, r.st.State, r.st.Finished, r.st.OutputFP)
+	case recCkpt:
+		return fmt.Sprintf("ckpt    file=%s decided=%d", r.file, r.n)
+	}
+	return recKindName(r.kind)
+}
+
+// DescribeJournal renders every record of a journal directory, one line
+// per record — the efind-plan -wal inspection surface. A torn tail is
+// reported as a final line rather than an error.
+func DescribeJournal(dir string) ([]string, error) {
+	fs := vfs.OS{}
+	recs, torn, err := wal.Replay(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(recs)+1)
+	for i, rec := range recs {
+		r, err := decodeRec(rec.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("record %d (%s): %w", i, rec.Segment, err)
+		}
+		out = append(out, fmt.Sprintf("%4d %s %s", i+1, rec.Segment, r.describe()))
+	}
+	if torn {
+		out = append(out, "torn tail: trailing bytes after the last valid record (crash mid-append)")
+	}
+	return out, nil
+}
+
+// journal is the Service's durability state: the open wal.Log, the
+// recovered decisions to verify re-derived ones against, and checkpoint
+// bookkeeping. All methods run on the scheduler goroutine.
+type journal struct {
+	d   *Durability
+	fs  vfs.FS
+	log *wal.Log
+	err error // first durability failure (journaling degrades, the run continues)
+
+	// Recovery state (empty on a fresh service).
+	decided map[int]JobStatus // checkpoint-decided statuses by sub index
+	seeds   map[int]int64     // journaled backoff seeds by sub index
+	expect  map[string][][]byte
+	report  *RecoveryReport
+
+	newlyDecided int
+	ckptSeq      int
+}
+
+func openJournal(d *Durability) (*journal, error) {
+	fs := d.fsOrOS()
+	log, err := wal.Open(fs, d.Dir, d.Sync)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{
+		d:       d,
+		fs:      fs,
+		log:     log,
+		decided: make(map[int]JobStatus),
+		seeds:   make(map[int]int64),
+		expect:  make(map[string][][]byte),
+	}, nil
+}
+
+func (jl *journal) fail(err error) {
+	if jl.err == nil && err != nil {
+		jl.err = err
+	}
+}
+
+// expectKey groups records for replay verification: one FIFO per (kind,
+// sub index); hello and trace use index -1.
+func expectKey(kind, subIdx int) string { return fmt.Sprintf("%d/%d", kind, subIdx) }
+
+// installExpectations loads replayed records as the verification
+// baseline for a recovered run: every decision the resumed service
+// re-derives must byte-match the journaled one, in order. Checkpoint
+// records are excluded (a resumed run writes its own), as are the
+// journaled admit seeds, which are additionally indexed for replay.
+func (jl *journal) installExpectations(recs []svcRec) {
+	for _, r := range recs {
+		switch r.kind {
+		case recCkpt:
+			continue
+		case recAdmit:
+			jl.seeds[r.subIdx] = r.seed
+		case recHello, recTrace:
+			jl.expect[expectKey(r.kind, -1)] = append(jl.expect[expectKey(r.kind, -1)], r.payload)
+			continue
+		}
+		k := expectKey(r.kind, r.subIdx)
+		jl.expect[k] = append(jl.expect[k], r.payload)
+	}
+}
+
+// append journals one record, first verifying it against the replayed
+// baseline when one exists. Journaling failures are sticky and reported
+// via Service.DurableErr, but never fail the run: the scheduler's
+// decisions stand, they just stop being durable.
+func (jl *journal) append(kind, subIdx int, payload []byte) {
+	k := expectKey(kind, subIdx)
+	if q := jl.expect[k]; len(q) > 0 {
+		want := q[0]
+		jl.expect[k] = q[1:]
+		if string(want) != string(payload) && jl.report != nil {
+			jl.report.Divergences = append(jl.report.Divergences,
+				fmt.Sprintf("%s record for sub %d diverges from the journal (%d vs %d bytes)",
+					recKindName(kind), subIdx, len(payload), len(want)))
+		}
+	}
+	if err := jl.log.Append(payload); err != nil {
+		jl.fail(err)
+	}
+}
+
+func (jl *journal) appendHello(tenantHash uint64) {
+	var e walEnc
+	e.u64(recHello)
+	e.u64(journalVersion)
+	e.u64(tenantHash)
+	jl.append(recHello, -1, e.b)
+}
+
+func (jl *journal) appendTrace(subsHash uint64, n int) {
+	var e walEnc
+	e.u64(recTrace)
+	e.u64(subsHash)
+	e.u64(uint64(n))
+	jl.append(recTrace, -1, e.b)
+}
+
+func (jl *journal) appendAdmit(subIdx, seq int, id string, at float64, seed int64) {
+	var e walEnc
+	e.u64(recAdmit)
+	e.u64(uint64(subIdx))
+	e.u64(uint64(seq))
+	e.str(id)
+	e.f64(at)
+	e.i64(seed)
+	jl.append(recAdmit, subIdx, e.b)
+}
+
+func (jl *journal) appendReject(subIdx int, reason string) {
+	var e walEnc
+	e.u64(recReject)
+	e.u64(uint64(subIdx))
+	e.str(reason)
+	jl.append(recReject, subIdx, e.b)
+}
+
+func (jl *journal) appendGrant(subIdx, taskKind, want int, ready, start float64) {
+	var e walEnc
+	e.u64(recGrant)
+	e.u64(uint64(subIdx))
+	e.u64(uint64(taskKind))
+	e.u64(uint64(want))
+	e.f64(ready)
+	e.f64(start)
+	jl.append(recGrant, subIdx, e.b)
+}
+
+func (jl *journal) appendEnd(subIdx, taskKind int, start, end float64) {
+	var e walEnc
+	e.u64(recEnd)
+	e.u64(uint64(subIdx))
+	e.u64(uint64(taskKind))
+	e.f64(start)
+	e.f64(end)
+	jl.append(recEnd, subIdx, e.b)
+}
+
+func (jl *journal) appendDone(subIdx int, regFP uint64, st *JobStatus) {
+	var e walEnc
+	e.u64(recDone)
+	e.u64(uint64(subIdx))
+	e.u64(regFP)
+	e.b = append(e.b, encodeStatus(st)...)
+	jl.append(recDone, subIdx, e.b)
+}
+
+func (jl *journal) appendCkpt(file string, decided int) {
+	var e walEnc
+	e.u64(recCkpt)
+	e.str(file)
+	e.u64(uint64(decided))
+	jl.append(recCkpt, -1, e.b)
+}
+
+func (jl *journal) close() {
+	if jl.log != nil {
+		if err := jl.log.Close(); err != nil {
+			jl.fail(err)
+		}
+	}
+}
+
+// regFingerprint hashes the durable registry's coverage (0 without one).
+func (jl *journal) regFingerprint() uint64 {
+	if jl.d.Registry == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jl.d.Registry.Fingerprint()))
+	return h.Sum64()
+}
+
+// Checkpoint snapshot schema (an fstore file in the journal directory).
+const (
+	ckptSentinel   = "jobsvc-ckpt"
+	ckptVersion    = 1
+	ckptSubPrefix  = "sub:"
+	ckptTenPrefix  = "tn:"
+	ckptPoolPrefix = "pool:"
+	ckptRegPrefix  = "reg:"
+	ckptLedMap     = "led:m"
+	ckptLedReduce  = "led:r"
+)
+
+func encodeLedger(l *slotLedger) []byte {
+	var e walEnc
+	e.u64(uint64(l.perNode))
+	e.u64(uint64(len(l.freeAt)))
+	for _, t := range l.freeAt {
+		e.f64(t)
+	}
+	return e.b
+}
+
+func decodeLedger(b []byte) (perNode int, freeAt []float64, err error) {
+	d := &walDec{b: b}
+	perNode = int(d.u64())
+	n := d.u64()
+	freeAt = make([]float64, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		freeAt = append(freeAt, d.f64())
+	}
+	return perNode, freeAt, d.err
+}
+
+func encodePoolEntry(e ixclient.PoolEntry) []byte {
+	// Presize: warmed caches at cluster scale make this the hottest
+	// encoder in a checkpoint, and append-growing doubled its cost.
+	size := len(e.Index) + 48
+	for i, k := range e.Keys {
+		size += len(k) + 10
+		for _, v := range e.Values[i] {
+			size += len(v) + 5
+		}
+	}
+	enc := walEnc{b: make([]byte, 0, size)}
+	enc.str(e.Index)
+	enc.u64(uint64(e.Node))
+	enc.i64(e.Hits)
+	enc.i64(e.Misses)
+	enc.u64(uint64(len(e.Keys)))
+	for i, k := range e.Keys {
+		enc.str(k)
+		enc.u64(uint64(len(e.Values[i])))
+		for _, v := range e.Values[i] {
+			enc.str(v)
+		}
+	}
+	return enc.b
+}
+
+func decodePoolEntry(b []byte) (ixclient.PoolEntry, error) {
+	d := &walDec{b: b}
+	var e ixclient.PoolEntry
+	e.Index = d.str()
+	e.Node = sim.NodeID(d.u64())
+	e.Hits = d.i64()
+	e.Misses = d.i64()
+	n := d.u64()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		e.Keys = append(e.Keys, d.str())
+		vn := d.u64()
+		vals := make([]string, 0, vn)
+		for j := uint64(0); j < vn && d.err == nil; j++ {
+			vals = append(vals, d.str())
+		}
+		e.Values = append(e.Values, vals)
+	}
+	return e, d.err
+}
+
+// writeCheckpoint folds every decided job, tenant accounting, slot
+// ledger, pooled cache, and registry coverage into one atomic fstore
+// snapshot and journals its name. Called only at quiescent points, so
+// the captured state is exactly the serial-point state a fresh run
+// reaches after the same decided prefix.
+func (s *Service) writeCheckpoint() {
+	jl := s.jl
+	b := fstore.NewBuilder()
+	b.Add(ckptSentinel, ckptVersion)
+	decided := 0
+	for _, j := range s.jobs {
+		if !j.decided {
+			continue
+		}
+		b.Add(fmt.Sprintf("%s%06d", ckptSubPrefix, j.idx), int64(j.status.State), string(encodeStatus(&j.status)))
+		decided++
+	}
+	for _, t := range s.order {
+		var e walEnc
+		e.f64(t.spent)
+		b.Add(ckptTenPrefix+t.cfg.Name, int64(t.seq), string(e.b))
+	}
+	b.Add(ckptLedMap, 0, string(encodeLedger(s.mapLedger)))
+	b.Add(ckptLedReduce, 0, string(encodeLedger(s.reduceLedger)))
+	if p := s.opts.SharedCache; p != nil {
+		for _, pe := range p.Dump() {
+			b.Add(fmt.Sprintf("%s%s|%08d", ckptPoolPrefix, pe.Index, pe.Node), int64(pe.Node), string(encodePoolEntry(pe)))
+		}
+	}
+	if reg := jl.d.Registry; reg != nil {
+		reg.AppendTo(b, ckptRegPrefix)
+	}
+	name := fmt.Sprintf("ckpt-%06d.fst", jl.ckptSeq+1)
+	if err := b.WriteFileFS(jl.fs, filepath.Join(jl.d.Dir, name)); err != nil {
+		// The snapshot never became durable; keep journaling against the
+		// previous checkpoint and retry at the next quiescent point.
+		jl.fail(fmt.Errorf("jobsvc: checkpoint %s: %w", name, err))
+		return
+	}
+	jl.ckptSeq++
+	jl.appendCkpt(name, decided)
+	jl.newlyDecided = 0
+}
+
+// checkpoint is one loaded checkpoint snapshot.
+type checkpoint struct {
+	path    string
+	decided map[int]JobStatus
+	tenants map[string]tenantCkpt
+	ledgers map[string]struct {
+		perNode int
+		freeAt  []float64
+	}
+	pool []ixclient.PoolEntry
+}
+
+type tenantCkpt struct {
+	seq   int
+	spent float64
+}
+
+// loadCheckpoint opens and fully decodes a checkpoint snapshot, merging
+// registry coverage into reg when given. Any validation or decode
+// failure surfaces as an error so Recover can fall back to an earlier
+// checkpoint.
+func loadCheckpoint(path string, reg *adaptix.Registry) (*checkpoint, error) {
+	snap, err := fstore.Open(path, fstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Close()
+	if _, ok := snap.Find(ckptSentinel); !ok {
+		return nil, fmt.Errorf("jobsvc: %s is not a service checkpoint", path)
+	}
+	ck := &checkpoint{
+		path:    path,
+		decided: make(map[int]JobStatus),
+		tenants: make(map[string]tenantCkpt),
+		ledgers: make(map[string]struct {
+			perNode int
+			freeAt  []float64
+		}),
+	}
+	for i := 0; i < snap.Len(); i++ {
+		key := snap.Key(i)
+		vals, err := snap.Values(i)
+		if err != nil {
+			return nil, err
+		}
+		one := func() (string, error) {
+			if len(vals) != 1 {
+				return "", fmt.Errorf("jobsvc: checkpoint %s: key %s has %d values, want 1", path, key, len(vals))
+			}
+			return vals[0], nil
+		}
+		switch {
+		case key == ckptSentinel:
+			if snap.Revision(i) != ckptVersion {
+				return nil, fmt.Errorf("jobsvc: checkpoint %s: unsupported version %d", path, snap.Revision(i))
+			}
+		case key == ckptLedMap || key == ckptLedReduce:
+			v, err := one()
+			if err != nil {
+				return nil, err
+			}
+			perNode, freeAt, err := decodeLedger([]byte(v))
+			if err != nil {
+				return nil, err
+			}
+			ck.ledgers[key] = struct {
+				perNode int
+				freeAt  []float64
+			}{perNode, freeAt}
+		case len(key) > len(ckptSubPrefix) && key[:len(ckptSubPrefix)] == ckptSubPrefix:
+			v, err := one()
+			if err != nil {
+				return nil, err
+			}
+			var idx int
+			if _, err := fmt.Sscanf(key[len(ckptSubPrefix):], "%d", &idx); err != nil {
+				return nil, fmt.Errorf("jobsvc: checkpoint %s: bad sub key %q", path, key)
+			}
+			d := &walDec{b: []byte(v)}
+			st := decodeStatus(d)
+			if d.err != nil {
+				return nil, d.err
+			}
+			ck.decided[idx] = st
+		case len(key) > len(ckptTenPrefix) && key[:len(ckptTenPrefix)] == ckptTenPrefix:
+			v, err := one()
+			if err != nil {
+				return nil, err
+			}
+			d := &walDec{b: []byte(v)}
+			spent := d.f64()
+			if d.err != nil {
+				return nil, d.err
+			}
+			ck.tenants[key[len(ckptTenPrefix):]] = tenantCkpt{seq: int(snap.Revision(i)), spent: spent}
+		case len(key) > len(ckptPoolPrefix) && key[:len(ckptPoolPrefix)] == ckptPoolPrefix:
+			v, err := one()
+			if err != nil {
+				return nil, err
+			}
+			pe, err := decodePoolEntry([]byte(v))
+			if err != nil {
+				return nil, err
+			}
+			ck.pool = append(ck.pool, pe)
+		case len(key) > len(ckptRegPrefix) && key[:len(ckptRegPrefix)] == ckptRegPrefix:
+			// Handled below via adaptix.LoadFrom (it validates ranges).
+		default:
+			return nil, fmt.Errorf("jobsvc: checkpoint %s: unknown key %q", path, key)
+		}
+	}
+	if reg != nil {
+		if err := reg.LoadFrom(snap, ckptRegPrefix); err != nil {
+			return nil, err
+		}
+	}
+	return ck, nil
+}
+
+// tenantHash fingerprints the tenant configuration for recHello.
+func tenantHash(tenants []TenantConfig) uint64 {
+	h := fnv.New64a()
+	for _, t := range tenants {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%x;", t.Name, t.Weight, t.MaxInFlight, t.QueueCap, math.Float64bits(t.Budget))
+	}
+	return h.Sum64()
+}
+
+// subsHash fingerprints the submission trace for recTrace.
+func subsHash(subs []Submission) uint64 {
+	h := fnv.New64a()
+	for _, s := range subs {
+		name := ""
+		if s.Conf != nil {
+			name = s.Conf.Name
+		}
+		fmt.Fprintf(h, "%s|%x|%s;", s.Tenant, math.Float64bits(s.At), name)
+	}
+	return h.Sum64()
+}
+
+// outputFingerprint hashes a job's sorted output records — the durable
+// stand-in for the output file, which a recovered coordinator cannot
+// reproduce for jobs it never re-runs. Sorted so serial and parallel
+// executors fingerprint identically.
+func outputFingerprint(res *core.JobResult) uint64 {
+	if res == nil || res.Output == nil {
+		return 0
+	}
+	var recs []string
+	for _, c := range res.Output.Chunks {
+		rs, err := c.Records()
+		if err != nil {
+			return 0
+		}
+		for _, r := range rs {
+			recs = append(recs, r.Key+"\x00"+r.Value)
+		}
+	}
+	sort.Strings(recs)
+	h := fnv.New64a()
+	for _, r := range recs {
+		h.Write([]byte(r))
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}

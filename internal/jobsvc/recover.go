@@ -1,0 +1,171 @@
+package jobsvc
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"efind/internal/core"
+	"efind/internal/wal"
+)
+
+// RecoveryReport describes what Recover found and did.
+type RecoveryReport struct {
+	// Checkpoint is the snapshot file the recovered state came from
+	// ("" when no checkpoint had been written before the crash).
+	Checkpoint string
+	// CheckpointsSkipped lists checkpoints named in the journal that
+	// failed to load (corrupt, torn, missing), newest first; recovery
+	// fell back past them.
+	CheckpointsSkipped []string
+	// RecordsReplayed counts the journal records read.
+	RecordsReplayed int
+	// TornTail reports whether the final segment ended mid-frame — the
+	// signature of a crash during an append.
+	TornTail bool
+	// TornBytesDiscarded is how many trailing bytes the repair dropped.
+	TornBytesDiscarded int
+	// DecidedJobs is how many submissions the checkpoint already
+	// decided; they report cached results without re-running.
+	DecidedJobs int
+	// Divergences lists re-derived decisions that failed to byte-match
+	// their journaled record. Empty on a faithful recovery; non-empty
+	// means the environment or trace handed to Recover differs from the
+	// original run's.
+	Divergences []string
+}
+
+// Recover rebuilds a Service from a durability directory: it replays
+// the write-ahead journal, restores the newest loadable checkpoint
+// (decided job statuses, tenant accounting, slot ledgers, the shared
+// cache pool's contents, and adaptive-registry coverage), repairs any
+// torn journal tail, and returns a Service ready to Run the same
+// submission trace. Checkpoint-decided submissions report their cached
+// status (Recovered = true, Result synthesized from the journal — the
+// output file itself is not reproduced); the rest re-execute
+// deterministically, and every re-derived decision is verified against
+// the journaled one, with mismatches collected in the report.
+//
+// The caller must rebuild the same deterministic environment the
+// original run used (cluster, DFS inputs, stores, job confs): the
+// service journals scheduling state, not the simulated world. Adaptive
+// indexes should be re-attached to Options.Durable.Registry and
+// re-materialized (adaptix.Buildable.Materialize) after Recover returns.
+func Recover(rt *core.Runtime, tenants []TenantConfig, opts Options) (*Service, *RecoveryReport, error) {
+	d := opts.Durable
+	if d == nil {
+		return nil, nil, fmt.Errorf("jobsvc: Recover requires Options.Durable")
+	}
+	fs := d.fsOrOS()
+	rep := &RecoveryReport{}
+
+	raw, torn, err := wal.Replay(fs, d.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.TornTail = torn
+	rep.RecordsReplayed = len(raw)
+	recs := make([]svcRec, 0, len(raw))
+	for i, r := range raw {
+		dr, err := decodeRec(r.Payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobsvc: journal record %d (%s): %w", i, r.Segment, err)
+		}
+		recs = append(recs, dr)
+	}
+
+	// Newest loadable checkpoint wins; corrupt or missing ones are
+	// skipped (their records were durable, their files were not — e.g.
+	// an injected rename failure after the journal append).
+	var ck *checkpoint
+	maxCkptSeq := 0
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].kind != recCkpt {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(recs[i].file, "ckpt-%d.fst", &seq); err == nil && seq > maxCkptSeq {
+			maxCkptSeq = seq
+		}
+		if ck != nil {
+			continue
+		}
+		c, err := loadCheckpoint(filepath.Join(d.Dir, recs[i].file), d.Registry)
+		if err != nil {
+			rep.CheckpointsSkipped = append(rep.CheckpointsSkipped, fmt.Sprintf("%s: %v", recs[i].file, err))
+			continue
+		}
+		ck = c
+	}
+
+	// Truncate the torn tail before the new segment opens, so the next
+	// replay sees a clean record stream.
+	discarded, err := wal.Repair(fs, d.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.TornBytesDiscarded = discarded
+
+	s, err := newService(rt, tenants, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	jl, err := openJournal(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	jl.report = rep
+	jl.ckptSeq = maxCkptSeq
+	jl.installExpectations(recs)
+
+	if ck != nil {
+		rep.Checkpoint = filepath.Base(ck.path)
+		for idx, st := range ck.decided {
+			st.Recovered = true
+			jl.decided[idx] = st
+		}
+		rep.DecidedJobs = len(jl.decided)
+		for name, tc := range ck.tenants {
+			t, ok := s.tenants[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("jobsvc: checkpoint %s names tenant %q the service does not configure", ck.path, name)
+			}
+			t.seq = tc.seq
+			t.spent = tc.spent
+		}
+		restoreLedger := func(key string, led *slotLedger) error {
+			l, ok := ck.ledgers[key]
+			if !ok {
+				return fmt.Errorf("jobsvc: checkpoint %s is missing ledger %q", ck.path, key)
+			}
+			if l.perNode != led.perNode || len(l.freeAt) != len(led.freeAt) {
+				return fmt.Errorf("jobsvc: checkpoint %s ledger %q shaped %dx%d, cluster has %dx%d — recover against the same cluster config",
+					ck.path, key, len(l.freeAt)/maxInt(l.perNode, 1), l.perNode, len(led.freeAt)/maxInt(led.perNode, 1), led.perNode)
+			}
+			copy(led.freeAt, l.freeAt)
+			return nil
+		}
+		if err := restoreLedger(ckptLedMap, s.mapLedger); err != nil {
+			return nil, nil, err
+		}
+		if err := restoreLedger(ckptLedReduce, s.reduceLedger); err != nil {
+			return nil, nil, err
+		}
+		if len(ck.pool) > 0 {
+			if opts.SharedCache == nil {
+				return nil, nil, fmt.Errorf("jobsvc: checkpoint %s holds shared-pool state but Options.SharedCache is nil", ck.path)
+			}
+			opts.SharedCache.Restore(ck.pool)
+		}
+	}
+
+	s.jl = jl
+	jl.appendHello(tenantHash(tenants))
+	return s, rep, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -114,9 +114,22 @@ func (s *Store) Reopen() error {
 	if s.snaps == nil {
 		return fmt.Errorf("kvstore: %s is not file-backed", s.name)
 	}
+	// On any error, fall back to in-memory serving and release every
+	// mapping: a half-reopened snaps slice would mix live, closed, and
+	// stale handles — lookups would touch a closed mapping and the rest
+	// would leak against OpenHandles(). The trees are the source of
+	// truth, so dropping file-backed mode loses nothing.
+	fail := func(err error) error {
+		for _, snap := range s.snaps {
+			_ = snap.Close() // idempotent; the failed partition is already closed
+		}
+		s.snaps = nil
+		s.stale = nil
+		return err
+	}
 	for p, snap := range s.snaps {
 		if err := snap.Close(); err != nil {
-			return err
+			return fail(err)
 		}
 		reopened, err := fstore.Open(snap.Path(), s.openOpts)
 		if err == nil {
@@ -124,11 +137,11 @@ func (s *Store) Reopen() error {
 			continue
 		}
 		if !errors.Is(err, fstore.ErrCorrupt) && !os.IsNotExist(err) {
-			return err
+			return fail(err)
 		}
 		rebuilt, err := s.writePartition(s.dir, p)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		s.rebuilds.Add(1)
 		s.snaps[p] = rebuilt

@@ -177,6 +177,21 @@ func (c *Cache) Snapshot() *Snapshot {
 	return s
 }
 
+// Dump returns the cache's entries in recency order (oldest → newest)
+// plus its hit/miss statistics — the serializable form of a Snapshot,
+// used by the job service's checkpoint writer. Values are shared, not
+// deep-copied, like Snapshot.
+func (c *Cache) Dump() (keys []string, values [][]string, hits, misses int64) {
+	s := c.Snapshot()
+	return s.keys, s.values, s.hits, s.misses
+}
+
+// Load replaces the cache's contents and statistics with a previously
+// dumped state: keys oldest → newest, so recency order round-trips.
+func (c *Cache) Load(keys []string, values [][]string, hits, misses int64) {
+	c.Restore(&Snapshot{keys: keys, values: values, hits: hits, misses: misses})
+}
+
 // Restore rewinds the cache to a snapshot taken from it (or from a cache
 // of the same capacity).
 func (c *Cache) Restore(s *Snapshot) {

@@ -35,8 +35,9 @@ type Job struct {
 	// (associative and commutative aggregation).
 	Combine ReduceFunc
 
-	// NumReduce is the reducer count; defaults to the cluster's total
-	// reduce slots when zero and a Reduce function is set.
+	// NumReduce is the reducer count; zero with a Reduce function set
+	// picks DefaultNumReduce: every reduce slot on small clusters,
+	// capped near the input's map-side parallelism on large ones.
 	NumReduce int
 	// Partition routes a map-output key to a reducer; nil = HashPartition.
 	Partition func(key string, numReduce int) int
@@ -132,9 +133,36 @@ func (j *Job) validate(e *Engine) error {
 		j.Partition = HashPartition
 	}
 	if j.Reduce != nil && j.NumReduce <= 0 {
-		j.NumReduce = e.Cluster.ReduceSlots()
+		j.NumReduce = DefaultNumReduce(e.Cluster, len(j.Input.Chunks))
 	}
 	return nil
+}
+
+// minDefaultReduce is the reducer count below which DefaultNumReduce
+// never caps: clusters this small always use every reduce slot, which
+// keeps the default bit-identical to the historical all-slots rule for
+// every cluster up to 128 nodes × 2 slots.
+const minDefaultReduce = 256
+
+// DefaultNumReduce sizes a job's reducer count when the user leaves it
+// unset. Small clusters use every reduce slot (Hadoop's classic ~1×
+// slots rule of thumb); large clusters cap the default near the
+// input's map-side parallelism, because reducers far in excess of map
+// tasks are pure overhead — every map task allocates one shuffle
+// bucket per reducer and every reducer becomes a scheduled task, so an
+// uncapped default on a 10k-node cluster sprays a 240-chunk input over
+// 20k mostly-empty reduce tasks. A job that wants wider reduce
+// parallelism sets NumReduce explicitly.
+func DefaultNumReduce(c *sim.Cluster, mapTasks int) int {
+	slots := c.ReduceSlots()
+	limit := mapTasks
+	if limit < minDefaultReduce {
+		limit = minDefaultReduce
+	}
+	if slots > limit {
+		return limit
+	}
+	return slots
 }
 
 // identityMap is used when Job.Map is nil.
